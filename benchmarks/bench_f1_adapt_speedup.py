@@ -1,0 +1,50 @@
+"""R-F1: speedup vs processor count for the adaptive-mesh application,
+under all three programming models.
+
+Expected shape (the paper's headline figure): all three models speed up;
+the one-sided/low-overhead models hold up better as the per-processor
+element count shrinks; the adaptive phases (marking agreement, migration,
+barriers) are what separates them.
+"""
+
+import pytest
+
+from conftest import ADAPT_WL, MODELS, emit
+from repro.harness import ascii_chart, format_table, run_app, sweep
+
+P_LIST = (1, 2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def f1_rows():
+    rows = sweep("adapt", models=MODELS, nprocs_list=P_LIST, workload=ADAPT_WL)
+    table = format_table(
+        ["model", "P", "time_ms", "speedup", "efficiency"],
+        [[r.model, r.nprocs, r.elapsed_ms, r.speedup, r.efficiency] for r in rows],
+        title="R-F1: adaptive mesh application — time and speedup vs P",
+    )
+    series = {}
+    for r in rows:
+        series.setdefault(r.model, []).append((r.nprocs, r.speedup))
+    chart = ascii_chart(series, title="R-F1 speedup curves", xlabel="processors", ylabel="speedup")
+    emit("f1_adapt_speedup", table + "\n\n" + chart)
+    return rows
+
+
+def test_f1_shape(f1_rows):
+    by = {(r.model, r.nprocs): r for r in f1_rows}
+    for model in MODELS:
+        # every model gains from parallelism somewhere
+        assert max(by[(model, p)].speedup for p in P_LIST) > 1.5
+        # P=1 times agree across models within 10% (same numerics, no comm)
+    t1 = [by[(m, 1)].elapsed_ms for m in MODELS]
+    assert max(t1) / min(t1) < 1.10
+    # SHMEM's low-overhead messaging dominates MPI on this fine-grained
+    # adaptive workload at scale
+    assert by[("shmem", 16)].elapsed_ms < by[("mpi", 16)].elapsed_ms
+
+
+def test_f1_benchmark(benchmark, f1_rows):
+    benchmark.pedantic(
+        lambda: run_app("adapt", "mpi", 8, ADAPT_WL), rounds=2, iterations=1
+    )

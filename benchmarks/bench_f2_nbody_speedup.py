@@ -1,0 +1,46 @@
+"""R-F2: speedup vs processor count for Barnes–Hut N-body (Plummer).
+
+Expected shape: the force phase dominates and parallelises well under every
+model, so all three scale; replicated-tree build is the serial fraction
+that caps speedup; the all-bodies exchange separates MPI (allgather) from
+SHMEM (direct puts) from SAS (coherence traffic).
+"""
+
+import pytest
+
+from conftest import MODELS, NBODY_WL, emit
+from repro.harness import ascii_chart, format_table, run_app, sweep
+
+P_LIST = (1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def f2_rows():
+    rows = sweep("nbody", models=MODELS, nprocs_list=P_LIST, workload=NBODY_WL)
+    table = format_table(
+        ["model", "P", "time_ms", "speedup", "efficiency"],
+        [[r.model, r.nprocs, r.elapsed_ms, r.speedup, r.efficiency] for r in rows],
+        title="R-F2: Barnes-Hut N-body — time and speedup vs P",
+    )
+    series = {}
+    for r in rows:
+        series.setdefault(r.model, []).append((r.nprocs, r.speedup))
+    chart = ascii_chart(series, title="R-F2 speedup curves", xlabel="processors", ylabel="speedup")
+    emit("f2_nbody_speedup", table + "\n\n" + chart)
+    return rows
+
+
+def test_f2_shape(f2_rows):
+    by = {(r.model, r.nprocs): r for r in f2_rows}
+    for model in MODELS:
+        assert by[(model, 8)].speedup > 2.0  # everyone scales
+        # monotone improvement up to 8 at least
+        assert by[(model, 8)].elapsed_ms < by[(model, 2)].elapsed_ms
+    t1 = [by[(m, 1)].elapsed_ms for m in MODELS]
+    assert max(t1) / min(t1) < 1.10
+
+
+def test_f2_benchmark(benchmark, f2_rows):
+    benchmark.pedantic(
+        lambda: run_app("nbody", "shmem", 8, NBODY_WL), rounds=2, iterations=1
+    )

@@ -1,0 +1,72 @@
+"""R-F3: load imbalance across adaptation phases, with and without PLUM.
+
+Expected shape: without rebalancing the imbalance climbs phase over phase
+as the refinement cascade concentrates elements near the moving front;
+with PLUM it is pulled back under the policy threshold every phase.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.apps.adapt import AdaptConfig, build_script
+from repro.harness import ascii_chart, format_table
+from repro.workloads.shock import MovingShock
+
+_WL = dict(
+    mesh_n=20,
+    phases=6,
+    solver_iters=6,
+    shock=MovingShock(x0=0.1, speed=0.13, band=0.04, max_level=2),
+)
+
+
+@pytest.fixture(scope="module")
+def f3_traces():
+    with_plum = build_script(AdaptConfig(rebalance=True, **_WL), 8)
+    without = build_script(AdaptConfig(rebalance=False, **_WL), 8)
+    rows = []
+    series = {"with PLUM": [], "without": []}
+    for k, ((b1, a1), (b2, a2)) in enumerate(
+        zip(with_plum.imbalance_trace, without.imbalance_trace)
+    ):
+        rows.append([k, b1, a1, a2])
+        series["with PLUM"].append((k, a1))
+        series["without"].append((k, a2))
+    table = format_table(
+        ["phase", "imb_before", "with_plum_after", "without_plum"],
+        rows,
+        title="R-F3: load imbalance per adaptation phase (P=8)",
+    )
+    chart = ascii_chart(series, title="R-F3 imbalance trace", xlabel="phase", ylabel="max/ideal load")
+    emit("f3_imbalance", table + "\n\n" + chart)
+    return with_plum, without
+
+
+def test_f3_shape(f3_traces):
+    with_plum, without = f3_traces
+    plum_after = [a for _, a in with_plum.imbalance_trace[1:]]
+    nobal_after = [a for _, a in without.imbalance_trace[1:]]
+    # PLUM keeps every phase under (near) the threshold
+    assert max(plum_after) <= with_plum.config.imbalance_threshold + 0.05
+    # without it, imbalance exceeds the threshold at some point
+    assert max(nobal_after) > with_plum.config.imbalance_threshold
+    assert max(nobal_after) > max(plum_after)
+
+
+def test_f3_parallel_time_benefit(f3_traces):
+    """Rebalancing must pay off in actual simulated time."""
+    from repro.apps.adapt import ADAPT_PROGRAMS
+    from repro.models.registry import run_program
+
+    with_plum, without = f3_traces
+    t_with = run_program("mpi", ADAPT_PROGRAMS["mpi"], 8, with_plum).elapsed_ns
+    t_without = run_program("mpi", ADAPT_PROGRAMS["mpi"], 8, without).elapsed_ns
+    assert t_with < t_without
+
+
+def test_f3_benchmark(benchmark):
+    benchmark.pedantic(
+        lambda: build_script(AdaptConfig(rebalance=True, **_WL), 8),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,60 @@
+"""R-F4: page-placement policy effect on CC-SAS performance.
+
+Expected shape: first-touch (each processor's pages land on its own node)
+clearly beats everything-on-node-0; round-robin interleaving sits between.
+This is the Origin2000's signature NUMA effect — get placement wrong and
+the shared-address-space model pays for every load at a hot remote memory.
+"""
+
+import pytest
+
+from conftest import ADAPT_WL, emit
+from repro.apps.jacobi import JacobiConfig
+from repro.harness import format_table, run_app
+
+POLICIES = ("first-touch", "round-robin", "fixed:0")
+JAC = JacobiConfig(nx=128, ny=128, iters=15)
+
+
+@pytest.fixture(scope="module")
+def f4_times():
+    times = {}
+    for policy in POLICIES:
+        times[("jacobi", policy)] = run_app("jacobi", "sas", 8, JAC, placement=policy).elapsed_ms
+        times[("adapt", policy)] = run_app("adapt", "sas", 8, ADAPT_WL, placement=policy).elapsed_ms
+    rows = [
+        [app, policy, times[(app, policy)]]
+        for app in ("jacobi", "adapt")
+        for policy in POLICIES
+    ]
+    table = format_table(
+        ["app", "placement", "time_ms"],
+        rows,
+        title="R-F4: CC-SAS time vs page placement (P=8)",
+    )
+    emit("f4_placement", table)
+    return times
+
+
+def test_f4_shape(f4_times):
+    # the regular-grid app shows the textbook ordering strictly
+    assert (
+        f4_times[("jacobi", "first-touch")]
+        < f4_times[("jacobi", "round-robin")]
+        < f4_times[("jacobi", "fixed:0")]
+    )
+    # on the adaptive app ownership keeps moving, so the pages placed at
+    # first touch go stale: first-touch only needs to stay within a few
+    # percent of the best policy, and the hot single node stays worst
+    ft = f4_times[("adapt", "first-touch")]
+    best = min(f4_times[("adapt", p)] for p in POLICIES)
+    assert ft <= 1.1 * best
+    assert f4_times[("adapt", "fixed:0")] >= best
+
+
+def test_f4_benchmark(benchmark, f4_times):
+    benchmark.pedantic(
+        lambda: run_app("jacobi", "sas", 8, JAC, placement="fixed:0"),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,59 @@
+"""R-F5: the model gap — regular (jacobi) vs adaptive (mesh) application.
+
+The paper's core observation: on a *regular* application the three
+programming models perform nearly identically, because communication is
+static, coarse-grained, and perfectly predictable.  The gap between the
+models opens on the *adaptive* application, whose fine-grained, evolving
+communication exposes each model's overheads.
+"""
+
+import pytest
+
+from conftest import ADAPT_WL, JACOBI_WL, MODELS, emit
+from repro.harness import format_table, sweep
+
+P = 8
+
+
+@pytest.fixture(scope="module")
+def f5_rows():
+    jac = sweep("jacobi", models=MODELS, nprocs_list=(1, P), workload=JACOBI_WL)
+    ada = sweep("adapt", models=MODELS, nprocs_list=(1, P), workload=ADAPT_WL)
+    rows = []
+    for app, rws in (("jacobi", jac), ("adapt", ada)):
+        for r in rws:
+            if r.nprocs == P:
+                rows.append([app, r.model, r.elapsed_ms, r.speedup])
+    table = format_table(
+        ["app", "model", f"time_ms(P={P})", "speedup"],
+        rows,
+        title="R-F5: regular vs adaptive application model gap",
+    )
+    jt = {r.model: r.elapsed_ms for r in jac if r.nprocs == P}
+    at = {r.model: r.elapsed_ms for r in ada if r.nprocs == P}
+    gap_j = max(jt.values()) / min(jt.values())
+    gap_a = max(at.values()) / min(at.values())
+    summary = (
+        f"\nmodel gap (slowest/fastest at P={P}):  "
+        f"regular jacobi = {gap_j:.2f}x,  adaptive mesh = {gap_a:.2f}x"
+    )
+    emit("f5_regular_vs_adaptive", table + summary)
+    return jt, at
+
+
+def test_f5_shape(f5_rows):
+    jt, at = f5_rows
+    gap_regular = max(jt.values()) / min(jt.values())
+    gap_adaptive = max(at.values()) / min(at.values())
+    # the adaptive application separates the models more than the regular one
+    assert gap_adaptive > gap_regular
+    # and on the regular app all models are within a modest band
+    assert gap_regular < 2.0
+
+
+def test_f5_benchmark(benchmark, f5_rows):
+    from repro.harness import run_app
+
+    benchmark.pedantic(
+        lambda: run_app("jacobi", "mpi", P, JACOBI_WL), rounds=2, iterations=1
+    )

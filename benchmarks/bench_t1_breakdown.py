@@ -1,0 +1,63 @@
+"""R-T1: execution-time breakdown (compute / comm / sync / stall) per
+model for the adaptive application at P = 8 and P = 16.
+
+Expected shape: MPI's overhead shows up as *communication* (per-message
+software cost), SHMEM's as *synchronisation* (barriers guard the one-sided
+puts), CC-SAS's as *memory stall* (coherence misses) plus barriers — the
+same total story told through three different accounting columns.
+"""
+
+import pytest
+
+from conftest import ADAPT_WL, MODELS, emit
+from repro.harness import format_table, run_app
+from repro.harness.breakdown import aggregate_breakdown
+
+
+@pytest.fixture(scope="module")
+def t1_results():
+    out = {}
+    for p in (8, 16):
+        for model in MODELS:
+            out[(model, p)] = run_app("adapt", model, p, ADAPT_WL)
+    rows = []
+    for (model, p), res in sorted(out.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        agg = aggregate_breakdown(res)
+        rows.append(
+            [
+                model,
+                p,
+                res.elapsed_ms,
+                agg["compute_pct"],
+                agg["comm_pct"],
+                agg["sync_pct"],
+                agg["stall_pct"],
+            ]
+        )
+    table = format_table(
+        ["model", "P", "time_ms", "compute%", "comm%", "sync%", "stall%"],
+        rows,
+        title="R-T1: adaptive app busy-time breakdown",
+    )
+    emit("t1_breakdown", table)
+    return out
+
+
+def test_t1_shape(t1_results):
+    for p in (8, 16):
+        mpi = aggregate_breakdown(t1_results[("mpi", p)])
+        shm = aggregate_breakdown(t1_results[("shmem", p)])
+        sas = aggregate_breakdown(t1_results[("sas", p)])
+        # MPI: overhead lives in comm; far more than SHMEM's comm share
+        assert mpi["comm_pct"] > 3 * shm["comm_pct"]
+        # SHMEM: explicit sync replaces messaging
+        assert shm["sync_pct"] > shm["comm_pct"]
+        # SAS: no messages at all; stall time carries the communication
+        assert sas["comm_pct"] == 0.0
+        assert sas["stall_pct"] > 0.0
+
+
+def test_t1_benchmark(benchmark, t1_results):
+    from repro.harness.breakdown import breakdown_rows
+
+    benchmark(lambda: [breakdown_rows(r) for r in t1_results.values()])

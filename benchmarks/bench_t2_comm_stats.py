@@ -1,0 +1,64 @@
+"""R-T2: communication statistics per model (adaptive app, P = 8).
+
+Expected shape: MPI moves data in fewer, larger messages with high
+per-message cost; SHMEM issues more, cheaper one-sided puts; CC-SAS sends
+no messages at all — its traffic is cache-line granular (misses and
+invalidations), visible only in the memory-system counters.
+"""
+
+import pytest
+
+from conftest import ADAPT_WL, MODELS, emit
+from repro.harness import run_app
+from repro.harness.breakdown import comm_stats_rows
+from repro.harness.tables import format_dict_table
+
+
+@pytest.fixture(scope="module")
+def t2_stats():
+    return {m: comm_stats_rows(run_app("adapt", m, 8, ADAPT_WL)) for m in MODELS}
+
+
+@pytest.fixture(scope="module")
+def t2_table(t2_stats):
+    table = format_dict_table(
+        [t2_stats[m] for m in MODELS],
+        keys=[
+            "model",
+            "messages",
+            "message_bytes",
+            "puts",
+            "put_bytes",
+            "atomics",
+            "l2_hits",
+            "local_misses",
+            "remote_misses",
+            "dirty_misses",
+            "invalidations",
+            "network_bytes",
+        ],
+        title="R-T2: communication statistics, adaptive app, P=8",
+    )
+    emit("t2_comm_stats", table)
+    return table
+
+
+def test_t2_shape(t2_stats, t2_table):
+    mpi, shm, sas = t2_stats["mpi"], t2_stats["shmem"], t2_stats["sas"]
+    # MPI communicates with two-sided messages only
+    assert mpi["messages"] > 0 and mpi["puts"] == 0
+    # SHMEM issues more one-sided operations than MPI sends messages
+    assert shm["puts"] > mpi["messages"]
+    # ...but each costs less: measured in R-T6 and visible in R-T1
+    # SAS: zero explicit operations, all cache-line traffic
+    assert sas["messages"] == 0 and sas["puts"] == 0
+    assert sas["remote_misses"] + sas["dirty_misses"] > 0
+    assert sas["invalidations"] > 0
+    # SAS memory-system traffic dwarfs the other models' (line granularity)
+    assert sas["dirty_misses"] > mpi["dirty_misses"]
+
+
+def test_t2_benchmark(benchmark, t2_stats):
+    benchmark.pedantic(
+        lambda: run_app("adapt", "shmem", 8, ADAPT_WL), rounds=2, iterations=1
+    )

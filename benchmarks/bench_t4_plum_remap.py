@@ -1,0 +1,103 @@
+"""R-T4: PLUM remapping-cost metrics (TotalV / MaxV / MaxSR) across
+processor-reassignment policies at several processor counts.
+
+Expected shape: similarity-matrix reassignment (greedy or optimal) moves a
+fraction of what naive identity relabelling moves; optimal ≥ greedy on
+retained weight, usually by little — which is why PLUM shipped the greedy
+heuristic.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.harness import format_table
+from repro.mesh import structured_mesh
+from repro.mesh.adapt import adapt_phase
+from repro.mesh.error import distance_band_marks
+from repro.partition import mesh_dual_graph, multilevel
+from repro.plum.balancer import PlumBalancer, inherit_ownership
+from repro.plum.cost import remap_cost
+from repro.plum.remap import (
+    apply_assignment,
+    reassign_greedy,
+    reassign_optimal,
+    similarity_matrix,
+)
+
+
+def _adapted_ownership(nparts: int):
+    """An adapted mesh plus its drifted (inherited) ownership."""
+    mesh = structured_mesh(12)
+    bal = PlumBalancer(nparts=nparts)
+    owner = bal.initial_partition(mesh)
+    for phase in range(3):
+        xf = 0.2 + 0.2 * phase
+        adapt_phase(
+            mesh,
+            lambda m, f=xf: distance_band_marks(m, lambda x, y: x - f, 0.05, max_level=2),
+            lambda m, f=xf: {
+                t
+                for t in m.alive_tris()
+                if abs(m.verts_array()[list(m.tri_verts(t))][:, 0].mean() - f) > 0.25
+            },
+        )
+        owner = inherit_ownership(mesh, owner)
+    return mesh, owner
+
+
+@pytest.fixture(scope="module")
+def t4_rows():
+    rows = []
+    raw = {}
+    for nparts in (4, 8, 16):
+        mesh, owner = _adapted_ownership(nparts)
+        graph, tids = mesh_dual_graph(mesh)
+        part = multilevel(graph, nparts, seed=1)
+        cur = np.asarray([owner[t] for t in tids])
+        w = np.ones(len(tids))
+        S = similarity_matrix(cur, part, w, nparts)
+        for policy, assign in (
+            ("identity", np.arange(nparts)),
+            ("greedy", reassign_greedy(S)),
+            ("optimal", reassign_optimal(S)),
+        ):
+            cost = remap_cost(cur, apply_assignment(part, assign), w, nparts)
+            rows.append(
+                [nparts, policy, cost.total_v, cost.max_v, cost.max_sr, cost.moved_elements]
+            )
+            raw[(nparts, policy)] = cost
+    table = format_table(
+        ["P", "policy", "TotalV", "MaxV", "MaxSR", "moved"],
+        rows,
+        title="R-T4: remap cost by reassignment policy",
+    )
+    emit("t4_plum_remap", table)
+    return raw
+
+
+def test_t4_shape(t4_rows):
+    for nparts in (4, 8, 16):
+        identity = t4_rows[(nparts, "identity")]
+        greedy = t4_rows[(nparts, "greedy")]
+        optimal = t4_rows[(nparts, "optimal")]
+        assert optimal.total_v <= identity.total_v
+        assert greedy.total_v <= identity.total_v  # holds on these instances
+        assert optimal.total_v <= greedy.total_v + 1e-9
+        # the win is substantial at scale
+        if nparts >= 8:
+            assert greedy.total_v < 0.9 * identity.total_v
+
+
+def test_t4_benchmark(benchmark):
+    mesh, owner = _adapted_ownership(8)
+    graph, tids = mesh_dual_graph(mesh)
+    part = multilevel(graph, 8, seed=1)
+    cur = np.asarray([owner[t] for t in tids])
+    w = np.ones(len(tids))
+
+    def remap():
+        S = similarity_matrix(cur, part, w, 8)
+        return remap_cost(cur, apply_assignment(part, reassign_greedy(S)), w, 8)
+
+    benchmark(remap)

@@ -1,0 +1,158 @@
+"""R-T6: machine microbenchmarks — the latency/bandwidth ladder.
+
+Expected shape (the Origin2000 numbers the whole comparison rests on):
+
+* memory:  L2 hit « local miss < remote miss < dirty 3-hop miss,
+* messaging: one MPI message costs ~an order of magnitude more than one
+  SHMEM put, which costs ~an order of magnitude more than one load miss,
+* barriers: cost grows with P for every model, MPI's the steepest.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.harness import format_table
+from repro.machine import Machine, MachineConfig
+from repro.models.registry import run_program
+
+
+def _pingpong(model: str, nbytes: int, nprocs: int = 8, reps: int = 10) -> float:
+    """Per-message one-way cost (ns) between the two farthest ranks."""
+    if model == "mpi":
+
+        def program(ctx):
+            peer = ctx.nprocs - 1
+            data = np.zeros(nbytes // 8)
+            t0 = ctx.now
+            for i in range(reps):
+                if ctx.rank == 0:
+                    yield from ctx.send(data, peer, tag=i)
+                    yield from ctx.recv(peer, tag=i)
+                elif ctx.rank == peer:
+                    yield from ctx.recv(0, tag=i)
+                    yield from ctx.send(data, 0, tag=i)
+            return (ctx.now - t0) / (2 * reps)
+
+    else:  # shmem
+
+        def program(ctx):
+            peer = ctx.nprocs - 1
+            buf = ctx.salloc("b", (max(nbytes // 8, 1),), np.float64)
+            data = np.zeros(max(nbytes // 8, 1))
+            t0 = ctx.now
+            for _ in range(reps):
+                if ctx.rank == 0:
+                    yield from ctx.put(buf, peer, data)
+                    yield from ctx.quiet()
+            yield from ctx.barrier_all()
+            if ctx.rank == 0:
+                return (ctx.now - t0) / reps
+            return None
+
+    res = run_program(model, program, nprocs)
+    return float(res.rank_results[0])
+
+
+def _memory_ladder() -> dict:
+    m = Machine(MachineConfig(nprocs=16))
+    d = m.directory
+    out = {}
+    d.transaction(0, 1000, False, 0.0)
+    out["L2 hit"], _ = d.transaction(0, 1000, False, 0.0)
+    out["local miss"], kind = d.transaction(0, 2000, False, 0.0)
+    assert kind == "local"
+    d.transaction(14, 3000, False, 0.0)  # home lands on node 7
+    out["remote miss"], kind = d.transaction(0, 3000, False, 1e6)
+    assert kind == "remote"
+    d.transaction(14, 4000, True, 0.0)  # dirty at a far cpu
+    out["dirty miss"], kind = d.transaction(0, 4000, False, 2e6)
+    assert kind == "dirty"
+    return out
+
+
+def _barrier_cost(model: str, nprocs: int, reps: int = 20) -> float:
+    def program(ctx):
+        t0 = ctx.now
+        for _ in range(reps):
+            if ctx.model_name == "mpi":
+                yield from ctx.barrier()
+            elif ctx.model_name == "shmem":
+                yield from ctx.barrier_all()
+            else:
+                yield from ctx.barrier()
+        return (ctx.now - t0) / reps
+
+    res = run_program(model, program, nprocs)
+    return max(float(r) for r in res.rank_results[:nprocs])
+
+
+@pytest.fixture(scope="module")
+def t6_data():
+    ladder = _memory_ladder()
+    msg = {
+        ("mpi", 8): _pingpong("mpi", 8),
+        ("mpi", 65536): _pingpong("mpi", 65536),
+        ("shmem", 8): _pingpong("shmem", 8),
+        ("shmem", 65536): _pingpong("shmem", 65536),
+    }
+    barriers = {
+        (model, p): _barrier_cost(model, p)
+        for model in ("mpi", "shmem", "sas")
+        for p in (2, 8, 32)
+    }
+    lines = [
+        format_table(
+            ["access", "latency_ns"],
+            [[k, v] for k, v in ladder.items()],
+            title="R-T6a: memory latency ladder",
+        ),
+        format_table(
+            ["op", "size_B", "one-way_ns", "MB/s"],
+            [
+                [model, size, t, size / t * 1e3]
+                for (model, size), t in sorted(msg.items())
+            ],
+            title="R-T6b: message latency / bandwidth",
+        ),
+        format_table(
+            ["model", "P", "barrier_ns"],
+            [[model, p, t] for (model, p), t in sorted(barriers.items())],
+            title="R-T6c: barrier cost",
+        ),
+    ]
+    emit("t6_micro", "\n\n".join(lines))
+    return ladder, msg, barriers
+
+
+def test_t6_memory_ladder(t6_data):
+    ladder, _, _ = t6_data
+    assert ladder["L2 hit"] < ladder["local miss"] < ladder["remote miss"] < ladder["dirty miss"]
+    # ratios in the Origin2000 ballpark
+    assert ladder["local miss"] / ladder["L2 hit"] > 5
+    assert ladder["dirty miss"] / ladder["local miss"] > 1.5
+
+
+def test_t6_message_costs(t6_data):
+    ladder, msg, _ = t6_data
+    # small-message latency: MPI an order of magnitude above SHMEM
+    assert msg[("mpi", 8)] > 5 * msg[("shmem", 8)]
+    # a SHMEM put still costs much more than a single remote load
+    assert msg[("shmem", 8)] > ladder["remote miss"]
+    # large messages converge toward link bandwidth: gap narrows
+    ratio_small = msg[("mpi", 8)] / msg[("shmem", 8)]
+    ratio_large = msg[("mpi", 65536)] / msg[("shmem", 65536)]
+    assert ratio_large < ratio_small
+
+
+def test_t6_barrier_scaling(t6_data):
+    _, _, barriers = t6_data
+    for model in ("mpi", "shmem", "sas"):
+        assert barriers[(model, 32)] > barriers[(model, 2)]
+    # MPI's software overheads make its barrier the most expensive
+    assert barriers[("mpi", 32)] > barriers[("shmem", 32)]
+    assert barriers[("mpi", 32)] > barriers[("sas", 32)]
+
+
+def test_t6_benchmark(benchmark):
+    benchmark(lambda: _pingpong("mpi", 1024, reps=5))

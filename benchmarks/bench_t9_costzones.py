@@ -1,0 +1,68 @@
+"""R-T9 (extension): cost-zones repartitioning for Barnes–Hut.
+
+With bodies kept in Morton (spatial) order — as tree-ordered body arrays
+are in real codes — equal-count ranges give each processor a spatial
+*zone*, so the Plummer core's expensive bodies concentrate on few
+processors.  Cost-zones splits ranges by last-step measured interaction
+counts instead.
+
+Expected shape: cost-zones shortens the force phase markedly for the
+centrally condensed Plummer distribution and does ~nothing for the
+uniform distribution (whose per-body costs are already even).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.apps.nbody import NBODY_PROGRAMS, NBodyConfig
+from repro.harness import format_table
+from repro.models.registry import run_program
+
+P = 8
+
+
+def _force_ms(distribution: str, use_costzones: bool) -> float:
+    cfg = NBodyConfig(n=512, steps=4, distribution=distribution, use_costzones=use_costzones)
+    res = run_program("mpi", NBODY_PROGRAMS["mpi"], P, cfg)
+    return res.phase_ns["force"] / 1e6
+
+
+@pytest.fixture(scope="module")
+def t9_times():
+    times = {
+        (dist, cz): _force_ms(dist, cz)
+        for dist in ("plummer", "uniform")
+        for cz in (True, False)
+    }
+    rows = [
+        [dist, "cost-zones" if cz else "equal-count", times[(dist, cz)]]
+        for dist in ("plummer", "uniform")
+        for cz in (True, False)
+    ]
+    table = format_table(
+        ["distribution", "ranges", "force_phase_ms"],
+        rows,
+        title=f"R-T9: Barnes-Hut force-phase time vs range policy (P={P})",
+    )
+    gain_p = times[("plummer", False)] / times[("plummer", True)]
+    gain_u = times[("uniform", False)] / times[("uniform", True)]
+    emit(
+        "t9_costzones",
+        table + f"\n\ncost-zones gain: plummer {gain_p:.2f}x, uniform {gain_u:.2f}x",
+    )
+    return times
+
+
+def test_t9_shape(t9_times):
+    # cost-zones helps the condensed distribution...
+    assert t9_times[("plummer", True)] < 0.95 * t9_times[("plummer", False)]
+    # ...and is roughly neutral for the uniform one
+    u_gain = t9_times[("uniform", False)] / t9_times[("uniform", True)]
+    assert 0.9 < u_gain < 1.1
+    # the gain is distribution-driven: bigger for plummer than uniform
+    p_gain = t9_times[("plummer", False)] / t9_times[("plummer", True)]
+    assert p_gain > u_gain
+
+
+def test_t9_benchmark(benchmark):
+    benchmark.pedantic(lambda: _force_ms("plummer", True), rounds=2, iterations=1)

@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` file regenerates one reconstructed table/figure (R-T*/R-F*
+in DESIGN.md): it runs the experiment, writes the formatted output to
+``benchmarks/results/<id>.txt`` (and stdout), asserts the qualitative
+*shape* the paper reports, and times a representative configuration via
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps.adapt import AdaptConfig
+from repro.apps.jacobi import JacobiConfig
+from repro.apps.nbody import NBodyConfig
+from repro.workloads.shock import MovingShock
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# the standard benchmark workloads (kept moderate so the whole suite runs
+# in minutes; scale mesh_n / n up for larger studies)
+ADAPT_WL = AdaptConfig(
+    mesh_n=24,
+    phases=5,
+    solver_iters=12,
+    shock=MovingShock(x0=0.15, speed=0.12, band=0.04, max_level=2),
+)
+NBODY_WL = NBodyConfig(n=512, steps=3)
+# 256x256: at P<=32 each rank's row block is >= one 16 KiB page, so the
+# placement comparison is not confounded by page-granularity splitting
+JACOBI_WL = JacobiConfig(nx=256, ny=256, iters=15)
+
+MODELS = ("mpi", "shmem", "sas")
+
+
+def emit(name: str, text: str) -> Path:
+    """Write one experiment's output file (and echo it)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def adapt_workload():
+    return ADAPT_WL
+
+
+@pytest.fixture(scope="session")
+def nbody_workload():
+    return NBODY_WL
+
+
+@pytest.fixture(scope="session")
+def jacobi_workload():
+    return JACOBI_WL

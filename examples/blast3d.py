@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Tetrahedral adaptation: an expanding spherical blast in the unit cube.
+
+    python examples/blast3d.py
+"""
+
+from repro.harness import format_table
+from repro.mesh.adapt3d import adapt_phase3d
+from repro.mesh.generator3d import structured_tet_mesh
+from repro.mesh.quality3d import tet_quality
+from repro.workloads.shock3d import SphericalBlast
+
+
+def main() -> None:
+    blast = SphericalBlast(r0=0.12, speed=0.1, band=0.06, coarsen_distance=0.18)
+    mesh = structured_tet_mesh(3)
+    print(f"initial Kuhn mesh: {mesh.num_tets} tets, {mesh.num_vertices} vertices")
+    rows = []
+    for phase in range(6):
+        rep = adapt_phase3d(
+            mesh,
+            lambda m, k=phase: blast.marks(m, k),
+            lambda m, k=phase: blast.coarsen_candidates(m, k),
+            validate=True,
+        )
+        q = tet_quality(mesh)
+        rows.append(
+            [
+                phase,
+                f"{blast.radius(phase):.2f}",
+                mesh.num_tets,
+                rep.refinement.refined_1to8,
+                rep.refinement.greens,
+                rep.families_merged,
+                f"{q.worst_aspect:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["phase", "radius", "tets", "red(1:8)", "greens", "merged", "worst aspect"],
+            rows,
+            title="Expanding spherical blast, red-green tetrahedral adaptation",
+        )
+    )
+    print(
+        "\nThe red (1:8) pattern refines the shell; greens (1:2/1:3/1:4) close"
+        "\nits boundary and are dissolved every phase, so the worst aspect"
+        "\nratio stays constant no matter how long the blast runs."
+    )
+
+
+if __name__ == "__main__":
+    main()

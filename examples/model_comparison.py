@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""A miniature version of the paper's full study: sweep processor counts
+for the adaptive and the regular application, print speedup curves, the
+breakdown, and the programming-effort table.
+
+    python examples/model_comparison.py
+"""
+
+from repro.apps.adapt import AdaptConfig
+from repro.apps.jacobi import JacobiConfig
+from repro.harness import ascii_chart, effort_table, format_table, run_app, sweep
+from repro.harness.breakdown import aggregate_breakdown
+from repro.harness.tables import format_dict_table
+
+P_LIST = (1, 2, 4, 8, 16)
+ADAPT = AdaptConfig(mesh_n=16, phases=4, solver_iters=10)
+JACOBI = JacobiConfig(nx=128, ny=128, iters=12)
+
+
+def speedup_chart(app: str, workload) -> None:
+    rows = sweep(app, nprocs_list=P_LIST, workload=workload)
+    series = {}
+    for r in rows:
+        series.setdefault(r.model, []).append((r.nprocs, r.speedup))
+    print(ascii_chart(series, title=f"{app}: speedup vs P", xlabel="processors", ylabel="speedup"))
+    print()
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Adaptive unstructured mesh (communication fine-grained, evolving)")
+    print("=" * 70)
+    speedup_chart("adapt", ADAPT)
+
+    print("=" * 70)
+    print("Regular grid Jacobi (static, coarse-grained — the control)")
+    print("=" * 70)
+    speedup_chart("jacobi", JACOBI)
+
+    print("=" * 70)
+    print("Where the time goes (adaptive app, P=8)")
+    print("=" * 70)
+    rows = []
+    for model in ("mpi", "shmem", "sas"):
+        agg = aggregate_breakdown(run_app("adapt", model, 8, ADAPT))
+        rows.append(
+            [model]
+            + [f"{agg[k]:.1f}" for k in ("compute_pct", "comm_pct", "sync_pct", "stall_pct")]
+        )
+    print(format_table(["model", "compute%", "comm%", "sync%", "stall%"], rows))
+    print()
+
+    print("=" * 70)
+    print("Programming effort (lines of code per implementation)")
+    print("=" * 70)
+    print(format_dict_table(effort_table(), keys=["app", "mpi", "shmem", "sas"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: run the adaptive-mesh application under all three
+Origin2000 programming models and compare.
+
+    python examples/quickstart.py
+"""
+
+from repro import run_app
+from repro.apps.adapt import AdaptConfig
+from repro.harness import format_table
+from repro.harness.breakdown import aggregate_breakdown
+
+NPROCS = 8
+workload = AdaptConfig(mesh_n=12, phases=4, solver_iters=8)
+
+
+def main() -> None:
+    rows = []
+    for model in ("mpi", "shmem", "sas"):
+        result = run_app("adapt", model, NPROCS, workload)
+        agg = aggregate_breakdown(result)
+        rows.append(
+            [
+                model,
+                f"{result.elapsed_ms:.2f}",
+                f"{agg['compute_pct']:.0f}%",
+                f"{agg['comm_pct']:.0f}%",
+                f"{agg['sync_pct']:.0f}%",
+                f"{agg['stall_pct']:.0f}%",
+                f"{result.rank_results[0]:.6f}",
+            ]
+        )
+    print(
+        format_table(
+            ["model", "time_ms", "compute", "comm", "sync", "stall", "checksum"],
+            rows,
+            title=f"Adaptive mesh application on {NPROCS} simulated Origin2000 CPUs",
+        )
+    )
+    checksums = {row[6] for row in rows}
+    assert len(checksums) == 1, "all three models must compute the identical solution"
+    print("\nAll three models produced the identical solution checksum —")
+    print("only *how* the data moved differed. Times are simulated ns on the")
+    print("modelled Origin2000, not wall-clock.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Drive the dynamic-mesh machinery directly: a shock front sweeps the
+domain, the mesh refines ahead of it and coarsens behind it, and PLUM
+rebalances the element distribution after every phase.
+
+    python examples/shock_adaptation.py
+"""
+
+from repro.harness import format_table
+from repro.mesh import mesh_quality, structured_mesh
+from repro.mesh.adapt import adapt_phase
+from repro.plum import ImbalancePolicy
+from repro.plum.balancer import PlumBalancer, inherit_ownership
+from repro.workloads import MovingShock
+
+NPARTS = 8
+PHASES = 8
+
+
+def main() -> None:
+    shock = MovingShock(x0=0.08, speed=0.11, band=0.05, max_level=2)
+    mesh = structured_mesh(12)
+    balancer = PlumBalancer(nparts=NPARTS, policy=ImbalancePolicy(1.2))
+    owner = balancer.initial_partition(mesh)
+
+    rows = []
+    for phase in range(PHASES):
+        report = adapt_phase(
+            mesh,
+            lambda m, k=phase: shock.marks(m, k),
+            lambda m, k=phase: shock.coarsen_candidates(m, k),
+            validate=True,  # assert conformity after every phase
+        )
+        owner = inherit_ownership(mesh, owner)
+        result = balancer.rebalance(mesh, owner)
+        owner = result.owner
+        quality = mesh_quality(mesh)
+        rows.append(
+            [
+                phase,
+                f"{shock.front(phase):.2f}",
+                mesh.num_triangles,
+                report.refinement.refined,
+                report.coarsening.families_merged,
+                f"{result.imbalance_before:.2f}",
+                f"{result.imbalance_after:.2f}",
+                str(result.cost) if result.cost else "-",
+                f"{quality.min_angle_deg:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["phase", "front", "tris", "refined", "merged", "imb_in", "imb_out", "remap cost", "min_angle"],
+            rows,
+            title=f"Moving shock adaptation with PLUM rebalancing ({NPARTS} partitions)",
+        )
+    )
+    print(
+        "\nNote how the element count tracks the front (refine ahead, coarsen"
+        "\nbehind), the minimum angle never degrades (red-green discipline),"
+        "\nand PLUM pulls the imbalance back under the 1.2 threshold each phase."
+    )
+
+
+if __name__ == "__main__":
+    main()

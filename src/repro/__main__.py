@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``     one (app, model, P) configuration, with breakdown
+``sweep``   app × model × P sweep with speedup table and ASCII chart
+``micro``   the machine microbenchmarks (latency ladder, messaging)
+``effort``  the programming-effort (LoC) table
+``describe`` the simulated machine for a given processor count
+``paper``   regenerate every experiment table/figure (R-F*/R-T*)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import ascii_chart, effort_table, format_table, run_app, sweep
+from repro.harness.breakdown import aggregate_breakdown, comm_stats_rows
+from repro.harness.tables import format_dict_table
+from repro.machine import Machine, MachineConfig
+
+_MODELS = ("mpi", "shmem", "sas")
+_APPS = ("adapt", "adapt3d", "nbody", "jacobi")
+
+
+def _workload(app: str, size: str):
+    """Small/medium/large presets per application."""
+    if app == "adapt":
+        from repro.apps.adapt import AdaptConfig
+
+        return {
+            "small": AdaptConfig(mesh_n=8, phases=3, solver_iters=6),
+            "medium": AdaptConfig(mesh_n=16, phases=4, solver_iters=10),
+            "large": AdaptConfig(mesh_n=24, phases=5, solver_iters=12),
+        }[size]
+    if app == "adapt3d":
+        from repro.apps.adapt3d import Adapt3DConfig
+
+        return {
+            "small": Adapt3DConfig(mesh_n=2, phases=3, solver_iters=4),
+            "medium": Adapt3DConfig(mesh_n=3, phases=4, solver_iters=8),
+            "large": Adapt3DConfig(mesh_n=4, phases=5, solver_iters=10),
+        }[size]
+    if app == "nbody":
+        from repro.apps.nbody import NBodyConfig
+
+        return {
+            "small": NBodyConfig(n=128, steps=2),
+            "medium": NBodyConfig(n=384, steps=3),
+            "large": NBodyConfig(n=768, steps=3),
+        }[size]
+    from repro.apps.jacobi import JacobiConfig
+
+    return {
+        "small": JacobiConfig(nx=64, ny=64, iters=10),
+        "medium": JacobiConfig(nx=128, ny=128, iters=15),
+        "large": JacobiConfig(nx=256, ny=256, iters=15),
+    }[size]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    wl = _workload(args.app, args.size)
+    result = run_app(args.app, args.model, args.nprocs, wl, placement=args.placement)
+    agg = aggregate_breakdown(result)
+    print(f"{args.app} under {args.model} on {args.nprocs} CPUs ({args.size} workload)")
+    print(f"  simulated time : {result.elapsed_ms:.3f} ms")
+    print(f"  checksum       : {result.rank_results[0]}")
+    print(
+        f"  breakdown      : compute {agg['compute_pct']:.1f}%  comm {agg['comm_pct']:.1f}%"
+        f"  sync {agg['sync_pct']:.1f}%  stall {agg['stall_pct']:.1f}%"
+    )
+    stats = comm_stats_rows(result)
+    print(
+        f"  traffic        : {stats['messages']} msgs / {stats['puts']} puts /"
+        f" {stats['remote_misses'] + stats['dirty_misses']} coherence misses"
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    wl = _workload(args.app, args.size)
+    plist = [int(p) for p in args.procs.split(",")]
+    rows = sweep(args.app, models=args.models.split(","), nprocs_list=plist, workload=wl)
+    print(
+        format_table(
+            ["model", "P", "time_ms", "speedup", "efficiency"],
+            [[r.model, r.nprocs, r.elapsed_ms, r.speedup, r.efficiency] for r in rows],
+            title=f"{args.app} ({args.size}) sweep",
+        )
+    )
+    series: dict = {}
+    for r in rows:
+        series.setdefault(r.model, []).append((r.nprocs, r.speedup))
+    print()
+    print(ascii_chart(series, title="speedup", xlabel="processors", ylabel="speedup"))
+    return 0
+
+
+def cmd_micro(args: argparse.Namespace) -> int:
+    machine = Machine(MachineConfig(nprocs=args.nprocs))
+    d = machine.directory
+    # use lines in distinct pages so first-touch homes them independently
+    lines = [0, 200, 400, 600]
+    d.transaction(0, lines[0], False, 0.0)
+    hit, _ = d.transaction(0, lines[0], False, 0.0)
+    local, _ = d.transaction(0, lines[1], False, 0.0)
+    far_cpu = args.nprocs - 1
+    d.transaction(far_cpu, lines[2], False, 0.0)
+    remote, _ = d.transaction(0, lines[2], False, 1e6)
+    d.transaction(far_cpu, lines[3], True, 0.0)
+    dirty, _ = d.transaction(0, lines[3], False, 2e6)
+    print(
+        format_table(
+            ["access", "latency_ns"],
+            [["L2 hit", hit], ["local miss", local], ["remote miss", remote], ["dirty miss", dirty]],
+            title=machine.describe(),
+        )
+    )
+    return 0
+
+
+def cmd_effort(args: argparse.Namespace) -> int:
+    print(
+        format_dict_table(
+            effort_table(),
+            keys=["app", "mpi", "shmem", "sas"],
+            title="programming effort (logical LoC)",
+        )
+    )
+    return 0
+
+
+def cmd_paper(args: argparse.Namespace) -> int:
+    """Run the full benchmark suite, writing benchmarks/results/*.txt."""
+    import subprocess
+    import sys as _sys
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+    if not bench_dir.exists():
+        print("benchmarks/ directory not found (installed without the repo?)")
+        return 1
+    cmd = [_sys.executable, "-m", "pytest", str(bench_dir), "--benchmark-disable", "-q"]
+    print("+", " ".join(cmd))
+    rc = subprocess.call(cmd)
+    results = bench_dir / "results"
+    if results.exists():
+        print("\nexperiment outputs:")
+        for f in sorted(results.glob("*.txt")):
+            print(f"  {f}")
+    return rc
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    machine = Machine(MachineConfig(nprocs=args.nprocs))
+    print(machine.describe())
+    cfg = machine.config
+    print(f"  clock {cfg.clock_mhz:.0f} MHz, L2 {cfg.l2_bytes // 1024} KiB, "
+          f"{cfg.line_bytes} B lines, {cfg.page_bytes // 1024} KiB pages")
+    print(f"  local {cfg.local_mem_ns:.0f} ns, +{cfg.remote_hop_ns:.0f} ns/hop, "
+          f"link {cfg.link_bandwidth_bpns * 1000:.0f} MB/s")
+    print(f"  MPI o_s/o_r {cfg.mpi_os_ns / 1000:.0f}/{cfg.mpi_or_ns / 1000:.0f} µs, "
+          f"SHMEM op {cfg.shmem_op_ns / 1000:.1f} µs")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Origin2000 three-programming-models reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one configuration")
+    p.add_argument("app", choices=_APPS)
+    p.add_argument("model", choices=_MODELS)
+    p.add_argument("-n", "--nprocs", type=int, default=8)
+    p.add_argument("-s", "--size", choices=("small", "medium", "large"), default="medium")
+    p.add_argument("--placement", default="first-touch")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("sweep", help="app x model x P sweep")
+    p.add_argument("app", choices=_APPS)
+    p.add_argument("-p", "--procs", default="1,2,4,8")
+    p.add_argument("-m", "--models", default="mpi,shmem,sas")
+    p.add_argument("-s", "--size", choices=("small", "medium", "large"), default="small")
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("micro", help="machine latency microbenchmarks")
+    p.add_argument("-n", "--nprocs", type=int, default=16)
+    p.set_defaults(fn=cmd_micro)
+
+    p = sub.add_parser("effort", help="programming-effort (LoC) table")
+    p.set_defaults(fn=cmd_effort)
+
+    p = sub.add_parser("describe", help="describe the simulated machine")
+    p.add_argument("-n", "--nprocs", type=int, default=8)
+    p.set_defaults(fn=cmd_describe)
+
+    p = sub.add_parser("paper", help="regenerate every experiment (R-F*/R-T*)")
+    p.set_defaults(fn=cmd_paper)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

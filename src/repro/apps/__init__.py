@@ -1,0 +1,14 @@
+"""The paper's applications, implemented under all three programming models.
+
+* :mod:`repro.apps.adapt`  — dynamic unstructured-mesh adaptation with a
+  moving shock, PLUM load balancing, and an edge-based relaxation solve
+  (the headline adaptive application),
+* :mod:`repro.apps.nbody`  — Barnes–Hut N-body on a Plummer cluster (the
+  tree-structured adaptive application),
+* :mod:`repro.apps.jacobi` — regular-grid Jacobi (the non-adaptive control:
+  where the three models should essentially tie).
+
+Each application is three separate programs sharing only the numerics, so
+the programming-effort comparison (experiment R-T3) is measured on real
+code.
+"""

@@ -1,0 +1,30 @@
+"""The adaptive-mesh application (solve → adapt → balance, repeated).
+
+The *trajectory* of the run — how the mesh refines, which elements move
+where, who talks to whom — is a deterministic function of the workload and
+the processor count, independent of the programming model.  It is computed
+once by :func:`repro.apps.adapt.script.build_script`; the three model
+programs replay it, performing the real numerics in their own decomposition
+and paying their own model's communication and synchronisation costs.
+This mirrors the paper's methodology (all three codes compute the same
+adaptation; only *how* data moves differs) and lets the test suite check
+that all three implementations produce bit-identical solutions.
+"""
+
+from repro.apps.adapt.common import AdaptConfig
+from repro.apps.adapt.script import AdaptScript, build_script
+from repro.apps.adapt.mpi_app import adapt_mpi
+from repro.apps.adapt.shmem_app import adapt_shmem
+from repro.apps.adapt.sas_app import adapt_sas
+
+ADAPT_PROGRAMS = {"mpi": adapt_mpi, "shmem": adapt_shmem, "sas": adapt_sas}
+
+__all__ = [
+    "AdaptConfig",
+    "AdaptScript",
+    "build_script",
+    "adapt_mpi",
+    "adapt_shmem",
+    "adapt_sas",
+    "ADAPT_PROGRAMS",
+]

@@ -1,0 +1,42 @@
+"""Workload configuration for the adaptive-mesh application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.shock import MovingShock
+
+__all__ = ["AdaptConfig"]
+
+
+@dataclass(frozen=True)
+class AdaptConfig:
+    """Parameters of one adaptive run (model-independent).
+
+    ``mesh_n`` structured cells per side (2·n² initial triangles);
+    ``phases`` adaptation phases; ``solver_iters`` relaxation sweeps per
+    phase; ``element_bytes`` is the migration payload per element (the
+    paper-era codes moved ~150–250 B of connectivity+state per element).
+    """
+
+    mesh_n: int = 8
+    phases: int = 5
+    solver_iters: int = 10
+    shock: MovingShock = field(default_factory=MovingShock)
+    rebalance: bool = True
+    imbalance_threshold: float = 1.25
+    partitioner: str = "multilevel"
+    reassigner: str = "greedy"
+    element_bytes: int = 192
+    omega: float = 0.7
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mesh_n < 2:
+            raise ValueError("mesh_n must be >= 2")
+        if self.phases < 1:
+            raise ValueError("phases must be >= 1")
+        if self.solver_iters < 1:
+            raise ValueError("solver_iters must be >= 1")
+        if self.partitioner not in ("multilevel", "rcb", "spectral"):
+            raise ValueError(f"unknown partitioner {self.partitioner!r}")

@@ -1,0 +1,357 @@
+"""Precomputed trajectory of one adaptive run (model-independent).
+
+For a given workload and processor count, everything *structural* about the
+run is deterministic and identical under all three programming models: how
+the mesh refines and coarsens, which processor owns which element, which
+elements migrate at each rebalance, which vertex values cross each
+partition boundary.  :func:`build_script` computes that trajectory once;
+the per-model programs replay it, doing the real numerics for their own
+ranks and paying their model's communication costs with real payloads.
+
+The script also carries the *sequential reference checksum* so every model
+implementation can be verified to produce the identical solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.adapt.common import AdaptConfig
+from repro.mesh.coarsen import coarsen
+from repro.mesh.generator import structured_mesh
+from repro.mesh.mesh2d import TriMesh
+from repro.mesh.refine import (
+    close_marks,
+    dissolve_green_families,
+    hanging_edge_marks,
+    refine_cascade,
+)
+from repro.partition import PARTITIONERS
+from repro.plum.balancer import PlumBalancer, inherit_ownership
+from repro.plum.cost import remap_cost
+from repro.plum.policy import ImbalancePolicy
+from repro.solver.kernels import interpolate_new_vertices, jacobi_sweep, vertex_csr
+
+__all__ = ["PhasePlan", "AdaptScript", "build_script"]
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class PhasePlan:
+    """One phase of the trajectory: transition into it + its solve."""
+
+    index: int
+    nverts: int
+    nels: int
+    elems_per_rank: np.ndarray
+    # --- solve decomposition ---
+    rows: List[np.ndarray]                 # per-rank owned vertex ids
+    row_xadj: List[np.ndarray]             # per-rank CSR over rows
+    row_adjncy: List[np.ndarray]           # global neighbour ids
+    forcing: List[np.ndarray]              # per-rank forcing for rows
+    ghost_sends: Dict[Pair, np.ndarray]    # (src,dst) -> vertex ids src sends dst
+    # --- transition into this phase (all empty for phase 0) ---
+    interp_triples: List[Tuple[int, int, int]] = field(default_factory=list)
+    refined_per_rank: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    coarsened_families: int = 0
+    mark_rounds: int = 0
+    boundary_marks: Dict[Pair, np.ndarray] = field(default_factory=dict)
+    local_marked_per_rank: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    migration_elems: Dict[Pair, np.ndarray] = field(default_factory=dict)
+    migration_verts: Dict[Pair, np.ndarray] = field(default_factory=dict)
+    #: coarsening handoff: (old child owner -> new parent owner) -> vertex ids
+    coarsen_transfers: Dict[Pair, np.ndarray] = field(default_factory=dict)
+    pre_elems_per_rank: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    rebalanced: bool = False
+    imbalance_before: float = 1.0
+    imbalance_after: float = 1.0
+    repartition_elements: int = 0
+
+    def comm_pairs(self) -> List[Pair]:
+        """All (src, dst) halo pairs of this phase's decomposition."""
+        return sorted(self.ghost_sends)
+
+
+@dataclass
+class AdaptScript:
+    """The full precomputed run."""
+
+    config: AdaptConfig
+    nprocs: int
+    phases: List[PhasePlan]
+    max_nverts: int
+    reference_checksum: float
+    imbalance_trace: List[Tuple[float, float]]  # (before, after) per phase
+
+    @property
+    def total_elements_final(self) -> int:
+        return self.phases[-1].nels
+
+
+def _vertex_owner(mesh: TriMesh, owner: Dict[int, int]) -> np.ndarray:
+    """owner_vert[v] = min rank among owners of alive elements using v."""
+    out = np.full(mesh.num_vertices, -1, dtype=np.int64)
+    for tid in mesh.alive_tris():
+        p = owner[tid]
+        for v in mesh.tri_verts(tid):
+            if out[v] < 0 or p < out[v]:
+                out[v] = p
+    return out
+
+
+def _solve_plan(
+    mesh: TriMesh, owner: Dict[int, int], nprocs: int, forcing_all: np.ndarray
+) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray], List[np.ndarray], Dict[Pair, np.ndarray]]:
+    """Owner-computes decomposition of the vertex relaxation.
+
+    A rank's *ghosts* are every non-owned vertex it must hold fresh: the
+    neighbourhood of its rows (read by the relaxation stencil) **plus** all
+    vertices of its owned elements (read by interpolation and carried by
+    migration — a corner element may have no locally-owned vertex at all).
+    """
+    xadj, adjncy = vertex_csr(mesh)
+    owner_vert = _vertex_owner(mesh, owner)
+    elem_verts: List[set] = [set() for _ in range(nprocs)]
+    for tid in mesh.alive_tris():
+        elem_verts[owner[tid]].update(mesh.tri_verts(tid))
+    rows: List[np.ndarray] = []
+    row_xadj: List[np.ndarray] = []
+    row_adjncy: List[np.ndarray] = []
+    forcing: List[np.ndarray] = []
+    ghost_sends: Dict[Pair, np.ndarray] = {}
+    for p in range(nprocs):
+        mine = np.flatnonzero(owner_vert == p)
+        rows.append(mine)
+        if len(mine) == 0:
+            row_xadj.append(np.zeros(1, dtype=np.int64))
+            row_adjncy.append(np.zeros(0, dtype=np.int64))
+            forcing.append(np.zeros(0))
+            needed = np.asarray(sorted(elem_verts[p]), dtype=np.int64)
+            if len(needed) == 0:
+                continue
+        else:
+            degs = xadj[mine + 1] - xadj[mine]
+            rx = np.zeros(len(mine) + 1, dtype=np.int64)
+            np.cumsum(degs, out=rx[1:])
+            ra = np.concatenate([adjncy[xadj[v] : xadj[v + 1]] for v in mine])
+            row_xadj.append(rx)
+            row_adjncy.append(ra)
+            forcing.append(forcing_all[mine])
+            needed = np.union1d(ra, np.asarray(sorted(elem_verts[p]), dtype=np.int64))
+        ghosts = needed[(owner_vert[needed] != p) & (owner_vert[needed] >= 0)]
+        ghosts = np.unique(ghosts)
+        for q in np.unique(owner_vert[ghosts]):
+            ghost_sends[(int(q), p)] = ghosts[owner_vert[ghosts] == q]
+    return rows, row_xadj, row_adjncy, forcing, ghost_sends
+
+
+def _owner_of_refined(mesh: TriMesh, tid: int, owner: Dict[int, int]) -> int:
+    t = tid
+    while t >= 0 and t not in owner:
+        t = mesh.parent[t]
+    return owner.get(t, 0)
+
+
+def build_script(config: AdaptConfig, nprocs: int) -> AdaptScript:
+    """Compute the full trajectory for ``config`` on ``nprocs`` processors."""
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    shock = config.shock
+    mesh = structured_mesh(config.mesh_n)
+    balancer = PlumBalancer(
+        nparts=nprocs,
+        partitioner=PARTITIONERS[config.partitioner],
+        policy=ImbalancePolicy(config.imbalance_threshold),
+        reassigner=config.reassigner,
+    )
+    owner = balancer.initial_partition(mesh)
+    phases: List[PhasePlan] = []
+    imbalance_trace: List[Tuple[float, float]] = []
+    prev_active = np.zeros(0, dtype=bool)  # vertex activity of the prior phase
+
+    for k in range(config.phases):
+        plan = PhasePlan(
+            index=k,
+            nverts=0,
+            nels=0,
+            elems_per_rank=np.zeros(nprocs, dtype=np.int64),
+            rows=[],
+            row_xadj=[],
+            row_adjncy=[],
+            forcing=[],
+            ghost_sends={},
+        )
+        if k > 0:
+            nv_before = mesh.num_vertices
+            pre_owner = owner
+            # --- adaptation (dissolve -> coarsen -> mark -> cascade refine) ---
+            dissolved = dissolve_green_families(mesh)
+            owner_postdissolve = inherit_ownership(mesh, pre_owner)
+            coarsen_report = coarsen(mesh, shock.coarsen_candidates(mesh, k))
+            owner_mid = inherit_ownership(mesh, owner_postdissolve)
+            # family handoffs: when a green family dissolves or a red family
+            # merges onto processor p, the children other processors owned
+            # carry their vertex values to p (otherwise p may later migrate
+            # a corner value it never held — a one-sweep-stale corruption)
+            handoff: Dict[Pair, set] = {}
+            for parent_t, family in dissolved.items():
+                p_new = owner_postdissolve[parent_t]
+                for child in family:
+                    q_old = pre_owner.get(child, p_new)
+                    if q_old != p_new:
+                        handoff.setdefault((q_old, p_new), set()).update(
+                            mesh.tri_verts(child)
+                        )
+            for parent_t, family in coarsen_report.families.items():
+                p_new = owner_mid[parent_t]
+                for child in family:
+                    q_old = owner_postdissolve[child]
+                    if q_old != p_new:
+                        handoff.setdefault((q_old, p_new), set()).update(
+                            mesh.tri_verts(child)
+                        )
+            plan.coarsen_transfers = {
+                pair: np.asarray(sorted(vids), dtype=np.int64)
+                for pair, vids in sorted(handoff.items())
+            }
+            marks = set(shock.marks(mesh, k)) | hanging_edge_marks(mesh)
+            closed = close_marks(mesh, marks)
+            # distributed mark agreement: marked edges on partition boundaries
+            edge_tris = mesh.edges()
+            bmarks: Dict[Pair, List[int]] = {}
+            local_marked = np.zeros(nprocs, dtype=np.int64)
+            for e in closed:
+                ts = edge_tris.get(e)
+                if not ts:
+                    continue
+                owners = {owner_mid[t] for t in ts}
+                for p in owners:
+                    local_marked[p] += 1
+                if len(owners) == 2:
+                    pa, pb = sorted(owners)
+                    bmarks.setdefault((pa, pb), []).append(e[0] * (1 << 20) + e[1])
+            pre_elems = np.zeros(nprocs, dtype=np.int64)
+            for tid_, p_ in owner_mid.items():
+                pre_elems[p_] += 1
+            plan.pre_elems_per_rank = pre_elems
+            ref_report = refine_cascade(mesh, marks)
+            mesh.validate()
+            # interpolation triples for every *activated* vertex: brand-new
+            # midpoints, plus old midpoints whose edge was re-refined after a
+            # coarsening (their stored values are stale everywhere, so they
+            # are re-interpolated — deterministically, in every program and
+            # in the sequential reference alike)
+            used_now = set()
+            for tid_ in mesh.alive_tris():
+                used_now.update(mesh.tri_verts(tid_))
+            triples = sorted(
+                (mid, e[0], e[1])
+                for e, mid in mesh.edge_midpoint.items()
+                if mid in used_now
+                and (mid >= len(prev_active) or not prev_active[mid])
+            )
+            owner_inh = inherit_ownership(mesh, owner_mid)
+            refined_per_rank = np.zeros(nprocs, dtype=np.int64)
+            for parent in ref_report.families:
+                refined_per_rank[_owner_of_refined(mesh, parent, owner_mid)] += 1
+            # --- PLUM rebalance + migration ---
+            imb_before = ImbalancePolicy.imbalance(balancer.loads(owner_inh))
+            if config.rebalance:
+                result = balancer.rebalance(mesh, owner_inh)
+                new_owner = result.owner
+                plan.rebalanced = result.rebalanced
+                plan.repartition_elements = mesh.num_triangles if result.rebalanced else 0
+            else:
+                new_owner = owner_inh
+            imb_after = ImbalancePolicy.imbalance(balancer.loads(new_owner))
+            migration_elems: Dict[Pair, List[int]] = {}
+            for tid in mesh.alive_tris():
+                src, dst = owner_inh[tid], new_owner[tid]
+                if src != dst:
+                    migration_elems.setdefault((src, dst), []).append(tid)
+            for pair, tids in sorted(migration_elems.items()):
+                plan.migration_elems[pair] = np.asarray(sorted(tids), dtype=np.int64)
+                vids = sorted({v for t in tids for v in mesh.tri_verts(t)})
+                plan.migration_verts[pair] = np.asarray(vids, dtype=np.int64)
+            owner = new_owner
+            plan.interp_triples = triples
+            plan.refined_per_rank = refined_per_rank
+            plan.coarsened_families = coarsen_report.families_merged
+            plan.mark_rounds = max(ref_report.cascade_rounds, 1)
+            plan.boundary_marks = {
+                pair: np.asarray(sorted(ids), dtype=np.int64)
+                for pair, ids in sorted(bmarks.items())
+            }
+            plan.local_marked_per_rank = local_marked
+            plan.imbalance_before = imb_before
+            plan.imbalance_after = imb_after
+            imbalance_trace.append((imb_before, imb_after))
+        else:
+            plan.local_marked_per_rank = np.zeros(nprocs, dtype=np.int64)
+            plan.refined_per_rank = np.zeros(nprocs, dtype=np.int64)
+            plan.pre_elems_per_rank = np.zeros(nprocs, dtype=np.int64)
+            imbalance_trace.append((1.0, ImbalancePolicy.imbalance(balancer.loads(owner))))
+
+        # --- solve decomposition for this phase ---
+        coords = mesh.verts_array()
+        forcing_all = shock.field(k, coords)
+        rows, rx, ra, forcing, ghost_sends = _solve_plan(mesh, owner, nprocs, forcing_all)
+        plan.nverts = mesh.num_vertices
+        plan.nels = mesh.num_triangles
+        for tid in mesh.alive_tris():
+            plan.elems_per_rank[owner[tid]] += 1
+        plan.rows = rows
+        plan.row_xadj = rx
+        plan.row_adjncy = ra
+        plan.forcing = forcing
+        plan.ghost_sends = ghost_sends
+        prev_active = np.zeros(mesh.num_vertices, dtype=bool)
+        for r in rows:
+            prev_active[r] = True
+        phases.append(plan)
+
+    reference = _sequential_reference(config, phases)
+    return AdaptScript(
+        config=config,
+        nprocs=nprocs,
+        phases=phases,
+        max_nverts=max(p.nverts for p in phases),
+        reference_checksum=reference,
+        imbalance_trace=imbalance_trace,
+    )
+
+
+def _sequential_reference(config: AdaptConfig, phases: List[PhasePlan]) -> float:
+    """Replay the numerics sequentially; returns the final checksum.
+
+    Because Jacobi is order-independent, every model implementation must
+    reproduce this value exactly.
+    """
+    u = np.zeros(phases[0].nverts)
+    for plan in phases:
+        if plan.index > 0:
+            u = interpolate_new_vertices(u, plan.interp_triples, plan.nverts)
+        for _ in range(config.solver_iters):
+            updates = []
+            for p in range(len(plan.rows)):
+                if len(plan.rows[p]) == 0:
+                    updates.append(np.zeros(0))
+                    continue
+                updates.append(
+                    jacobi_sweep(
+                        u,
+                        plan.row_xadj[p],
+                        plan.row_adjncy[p],
+                        plan.rows[p],
+                        plan.forcing[p],
+                        omega=config.omega,
+                    )
+                )
+            for p, vals in enumerate(updates):
+                u[plan.rows[p]] = vals
+    last = phases[-1]
+    return float(sum(u[r].sum() for r in last.rows))

@@ -1,0 +1,15 @@
+"""The 3-D (tetrahedral) adaptive application.
+
+The three programming-model programs are the *same code* as the 2-D
+application (:mod:`repro.apps.adapt`): they consume the model-independent
+:class:`~repro.apps.adapt.script.PhasePlan` trajectory, which is
+dimension-agnostic — only the trajectory *builder* differs, driving the
+tetrahedral engine (Bey red-green refinement, non-strict coarsening with
+in-phase closure) instead of the triangular one.
+"""
+
+from repro.apps.adapt import ADAPT_PROGRAMS
+from repro.apps.adapt3d.common import Adapt3DConfig
+from repro.apps.adapt3d.script3d import build_script3d
+
+__all__ = ["Adapt3DConfig", "build_script3d", "ADAPT_PROGRAMS"]

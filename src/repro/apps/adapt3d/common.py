@@ -1,0 +1,41 @@
+"""Workload configuration for the 3-D adaptive application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.shock3d import MovingShock3D
+
+__all__ = ["Adapt3DConfig"]
+
+
+@dataclass(frozen=True)
+class Adapt3DConfig:
+    """Parameters of one 3-D adaptive run (model-independent).
+
+    Field names match :class:`repro.apps.adapt.common.AdaptConfig` where
+    the model programs read them (``solver_iters``, ``omega``,
+    ``element_bytes``), so the same programs run both dimensions.
+    """
+
+    mesh_n: int = 3
+    phases: int = 4
+    solver_iters: int = 8
+    shock: MovingShock3D = field(default_factory=MovingShock3D)
+    rebalance: bool = True
+    imbalance_threshold: float = 1.25
+    partitioner: str = "multilevel"
+    reassigner: str = "greedy"
+    element_bytes: int = 280  # tets carry more connectivity/state than tris
+    omega: float = 0.7
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mesh_n < 1:
+            raise ValueError("mesh_n must be >= 1")
+        if self.phases < 1:
+            raise ValueError("phases must be >= 1")
+        if self.solver_iters < 1:
+            raise ValueError("solver_iters must be >= 1")
+        if self.partitioner not in ("multilevel", "rcb", "spectral"):
+            raise ValueError(f"unknown partitioner {self.partitioner!r}")

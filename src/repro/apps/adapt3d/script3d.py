@@ -1,0 +1,249 @@
+"""Model-independent trajectory for the 3-D adaptive application.
+
+Produces the same :class:`~repro.apps.adapt.script.PhasePlan` /
+:class:`~repro.apps.adapt.script.AdaptScript` structures as the 2-D
+builder (so the per-model programs run unchanged), but drives the
+tetrahedral engine: Bey red-green refinement with the in-phase
+hanging-node closure loop, and non-strict coarsening (interfaces repaired
+by the closure, with the merged families handed off between owners).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.adapt.script import (
+    AdaptScript,
+    Pair,
+    PhasePlan,
+    _owner_of_refined,
+    _solve_plan,
+)
+from repro.apps.adapt3d.common import Adapt3DConfig
+from repro.mesh.coarsen3d import coarsen3d
+from repro.mesh.generator3d import structured_tet_mesh
+from repro.mesh.refine3d import (
+    close_marks3d,
+    dissolve_green_families3d,
+    hanging_edge_marks3d,
+    refine_cascade3d,
+)
+from repro.partition import PARTITIONERS
+from repro.plum.balancer import PlumBalancer, inherit_ownership
+from repro.plum.policy import ImbalancePolicy
+from repro.solver.kernels import interpolate_new_vertices, jacobi_sweep
+
+__all__ = ["build_script3d"]
+
+
+def build_script3d(config: Adapt3DConfig, nprocs: int) -> AdaptScript:
+    """Compute the full 3-D trajectory for ``config`` on ``nprocs`` CPUs."""
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    shock = config.shock
+    mesh = structured_tet_mesh(config.mesh_n)
+    balancer = PlumBalancer(
+        nparts=nprocs,
+        partitioner=PARTITIONERS[config.partitioner],
+        policy=ImbalancePolicy(config.imbalance_threshold),
+        reassigner=config.reassigner,
+    )
+    owner = balancer.initial_partition(mesh)
+    phases: List[PhasePlan] = []
+    imbalance_trace: List[Tuple[float, float]] = []
+    prev_active = np.zeros(0, dtype=bool)
+
+    for k in range(config.phases):
+        plan = PhasePlan(
+            index=k,
+            nverts=0,
+            nels=0,
+            elems_per_rank=np.zeros(nprocs, dtype=np.int64),
+            rows=[],
+            row_xadj=[],
+            row_adjncy=[],
+            forcing=[],
+            ghost_sends={},
+        )
+        if k > 0:
+            pre_owner = owner
+            dissolved = dissolve_green_families3d(mesh)
+            owner_postdissolve = inherit_ownership(mesh, pre_owner)
+            # family handoffs: dissolved green families first (the revived
+            # parent's owner needs every child owner's vertex values)
+            handoff: Dict[Pair, set] = {}
+            for parent_t, family in dissolved.items():
+                p_new = owner_postdissolve[parent_t]
+                for child in family:
+                    q_old = pre_owner.get(child, p_new)
+                    if q_old != p_new:
+                        handoff.setdefault((q_old, p_new), set()).update(
+                            mesh.tet_verts(child)
+                        )
+            merged_total = 0
+            owner_now = owner_postdissolve
+            for _ in range(3):
+                co = coarsen3d(mesh, shock.coarsen_candidates(mesh, k), strict=False)
+                merged_total += co.families_merged
+                if co.families_merged == 0:
+                    break
+                next_owner = inherit_ownership(mesh, owner_now)
+                for parent_t, family in co.families.items():
+                    p_new = next_owner[parent_t]
+                    for child in family:
+                        q_old = owner_now.get(child, p_new)
+                        if q_old != p_new:
+                            handoff.setdefault((q_old, p_new), set()).update(
+                                mesh.tet_verts(child)
+                            )
+                owner_now = next_owner
+            plan.coarsen_transfers = {
+                pair: np.asarray(sorted(vids), dtype=np.int64)
+                for pair, vids in sorted(handoff.items())
+            }
+            owner_mid = inherit_ownership(mesh, owner_now)
+            marks = set(shock.marks(mesh, k)) | hanging_edge_marks3d(mesh)
+            closed = close_marks3d(mesh, marks)
+            edge_tets = mesh.edges()
+            bmarks: Dict[Pair, List[int]] = {}
+            local_marked = np.zeros(nprocs, dtype=np.int64)
+            for e in closed:
+                ts = edge_tets.get(e)
+                if not ts:
+                    continue
+                owners = sorted({owner_mid[t] for t in ts})
+                for p in owners:
+                    local_marked[p] += 1
+                for i in range(len(owners)):
+                    for j in range(i + 1, len(owners)):
+                        bmarks.setdefault((owners[i], owners[j]), []).append(
+                            e[0] * (1 << 20) + e[1]
+                        )
+            pre_elems = np.zeros(nprocs, dtype=np.int64)
+            for _tid, p_ in owner_mid.items():
+                pre_elems[p_] += 1
+            plan.pre_elems_per_rank = pre_elems
+
+            # cascade + in-phase hanging-node closure loop
+            ref_report = refine_cascade3d(mesh, marks)
+            for _ in range(16):
+                extra = hanging_edge_marks3d(mesh)
+                if not extra:
+                    break
+                rep2 = refine_cascade3d(mesh, extra)
+                ref_report.refined_1to8 += rep2.refined_1to8
+                ref_report.refined_1to4 += rep2.refined_1to4
+                ref_report.refined_1to3 += rep2.refined_1to3
+                ref_report.refined_1to2 += rep2.refined_1to2
+                ref_report.cascade_rounds += rep2.cascade_rounds
+                ref_report.families.update(rep2.families)
+            else:
+                raise AssertionError("3-D hanging-node closure did not converge")
+            mesh.validate()
+
+            used_now = set()
+            for tid_ in mesh.alive_tets():
+                used_now.update(mesh.tet_verts(tid_))
+            triples = sorted(
+                (mid, e[0], e[1])
+                for e, mid in mesh.edge_midpoint.items()
+                if mid in used_now
+                and (mid >= len(prev_active) or not prev_active[mid])
+            )
+            owner_inh = inherit_ownership(mesh, owner_mid)
+            refined_per_rank = np.zeros(nprocs, dtype=np.int64)
+            for parent_t in ref_report.families:
+                refined_per_rank[_owner_of_refined(mesh, parent_t, owner_mid)] += 1
+            imb_before = ImbalancePolicy.imbalance(balancer.loads(owner_inh))
+            if config.rebalance:
+                result = balancer.rebalance(mesh, owner_inh)
+                new_owner = result.owner
+                plan.rebalanced = result.rebalanced
+                plan.repartition_elements = mesh.num_tets if result.rebalanced else 0
+            else:
+                new_owner = owner_inh
+            imb_after = ImbalancePolicy.imbalance(balancer.loads(new_owner))
+            migration: Dict[Pair, List[int]] = {}
+            for tid in mesh.alive_tets():
+                src, dst = owner_inh[tid], new_owner[tid]
+                if src != dst:
+                    migration.setdefault((src, dst), []).append(tid)
+            for pair, tids_ in sorted(migration.items()):
+                plan.migration_elems[pair] = np.asarray(sorted(tids_), dtype=np.int64)
+                vids = sorted({v for t in tids_ for v in mesh.tet_verts(t)})
+                plan.migration_verts[pair] = np.asarray(vids, dtype=np.int64)
+            owner = new_owner
+            plan.interp_triples = triples
+            plan.refined_per_rank = refined_per_rank
+            plan.coarsened_families = merged_total
+            plan.mark_rounds = max(ref_report.cascade_rounds, 1)
+            plan.boundary_marks = {
+                pair: np.asarray(sorted(ids), dtype=np.int64)
+                for pair, ids in sorted(bmarks.items())
+            }
+            plan.local_marked_per_rank = local_marked
+            plan.imbalance_before = imb_before
+            plan.imbalance_after = imb_after
+            imbalance_trace.append((imb_before, imb_after))
+        else:
+            plan.local_marked_per_rank = np.zeros(nprocs, dtype=np.int64)
+            plan.refined_per_rank = np.zeros(nprocs, dtype=np.int64)
+            plan.pre_elems_per_rank = np.zeros(nprocs, dtype=np.int64)
+            imbalance_trace.append((1.0, ImbalancePolicy.imbalance(balancer.loads(owner))))
+
+        coords = mesh.verts_array()
+        forcing_all = shock.field(k, coords)
+        rows, rx, ra, forcing, ghost_sends = _solve_plan(mesh, owner, nprocs, forcing_all)
+        plan.nverts = mesh.num_vertices
+        plan.nels = mesh.num_tets
+        for tid in mesh.alive_tets():
+            plan.elems_per_rank[owner[tid]] += 1
+        plan.rows = rows
+        plan.row_xadj = rx
+        plan.row_adjncy = ra
+        plan.forcing = forcing
+        plan.ghost_sends = ghost_sends
+        prev_active = np.zeros(mesh.num_vertices, dtype=bool)
+        for r in rows:
+            prev_active[r] = True
+        phases.append(plan)
+
+    reference = _sequential_reference3d(config, phases)
+    return AdaptScript(
+        config=config,
+        nprocs=nprocs,
+        phases=phases,
+        max_nverts=max(p.nverts for p in phases),
+        reference_checksum=reference,
+        imbalance_trace=imbalance_trace,
+    )
+
+
+def _sequential_reference3d(config: Adapt3DConfig, phases: List[PhasePlan]) -> float:
+    """Replay the numerics sequentially (identical to the 2-D reference)."""
+    u = np.zeros(phases[0].nverts)
+    for plan in phases:
+        if plan.index > 0:
+            u = interpolate_new_vertices(u, plan.interp_triples, plan.nverts)
+        for _ in range(config.solver_iters):
+            updates = []
+            for p in range(len(plan.rows)):
+                if len(plan.rows[p]) == 0:
+                    updates.append(np.zeros(0))
+                    continue
+                updates.append(
+                    jacobi_sweep(
+                        u,
+                        plan.row_xadj[p],
+                        plan.row_adjncy[p],
+                        plan.rows[p],
+                        plan.forcing[p],
+                        omega=config.omega,
+                    )
+                )
+            for p, vals in enumerate(updates):
+                u[plan.rows[p]] = vals
+    last = phases[-1]
+    return float(sum(u[r].sum() for r in last.rows))

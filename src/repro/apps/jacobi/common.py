@@ -1,0 +1,65 @@
+"""Shared pieces of the regular-grid Jacobi application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["JacobiConfig", "initial_grid", "row_block", "sweep_rows", "reference_checksum"]
+
+
+@dataclass(frozen=True)
+class JacobiConfig:
+    """A static ``nx × ny`` grid relaxed for ``iters`` sweeps."""
+
+    nx: int = 64
+    ny: int = 64
+    iters: int = 20
+
+    def __post_init__(self) -> None:
+        if self.nx < 4 or self.ny < 4:
+            raise ValueError("grid must be at least 4x4")
+        if self.iters < 1:
+            raise ValueError("iters must be >= 1")
+
+
+def initial_grid(cfg: JacobiConfig) -> np.ndarray:
+    """Boundary-driven initial condition: hot top edge, cold elsewhere."""
+    g = np.zeros((cfg.ny, cfg.nx))
+    g[0, :] = 1.0
+    g[-1, :] = -1.0
+    return g
+
+
+def row_block(ny: int, nprocs: int, rank: int) -> Tuple[int, int]:
+    """Interior rows ``[lo, hi)`` owned by ``rank`` (rows 0, ny-1 fixed)."""
+    interior = ny - 2
+    base, extra = divmod(interior, nprocs)
+    lo = 1 + rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+def sweep_rows(grid: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """5-point Jacobi update of interior rows ``[lo, hi)`` (returned only)."""
+    if hi <= lo:
+        return np.zeros((0, grid.shape[1]))
+    block = 0.25 * (
+        grid[lo - 1 : hi - 1, 1:-1]
+        + grid[lo + 1 : hi + 1, 1:-1]
+        + grid[lo:hi, :-2]
+        + grid[lo:hi, 2:]
+    )
+    out = grid[lo:hi].copy()
+    out[:, 1:-1] = block
+    return out
+
+
+def reference_checksum(cfg: JacobiConfig) -> float:
+    """Sequential sweep; the value every model must reproduce."""
+    grid = initial_grid(cfg)
+    for _ in range(cfg.iters):
+        grid[1:-1] = sweep_rows(grid, 1, cfg.ny - 1)
+    return float(np.abs(grid).sum())

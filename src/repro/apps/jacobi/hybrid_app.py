@@ -1,0 +1,97 @@
+"""Regular-grid Jacobi under the hybrid model (MPI between nodes, shared
+memory within).
+
+Each *node* owns a block of rows in shared memory; its CPUs split the
+block and never exchange anything explicitly.  Only the node *leaders*
+talk MPI: two messages per node per sweep instead of two per CPU — the
+hybrid premise of fewer, larger messages plus free intra-node sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.jacobi.common import JacobiConfig, initial_grid, row_block, sweep_rows
+
+__all__ = ["jacobi_hybrid"]
+
+TAG_UP = 31
+TAG_DOWN = 32
+
+
+def jacobi_hybrid(ctx, cfg: JacobiConfig) -> Generator:
+    """One rank of the hybrid Jacobi; returns the global |grid| checksum."""
+    mcfg = ctx.machine.config
+    nx = cfg.nx
+    node = ctx.node
+    nnodes = ctx.nnodes
+    # the node's block, then my slice of it
+    nlo, nhi = row_block(cfg.ny, nnodes, node)
+    span = nhi - nlo
+    base, extra = divmod(span, ctx.node_size)
+    mlo = nlo + ctx.node_rank * base + min(ctx.node_rank, extra)
+    mhi = mlo + base + (1 if ctx.node_rank < extra else 0)
+
+    leaders = yield from ctx.setup_leaders()
+    bufs = [
+        ctx.shalloc("grid_a", (cfg.ny * nx,), np.float64),
+        ctx.shalloc("grid_b", (cfg.ny * nx,), np.float64),
+    ]
+    # parallel first-touch init of my slice (leaders also take the fixed
+    # boundary rows adjacent to their node block)
+    init = initial_grid(cfg)
+    first = mlo if not (ctx.is_leader and node == 0) else 0
+    last = mhi if not (ctx.rank == ctx.nprocs - 1) else cfg.ny
+    for b in bufs:
+        b.data.reshape(cfg.ny, nx)[first:last] = init[first:last]
+        yield from ctx.stouch(b, first * nx, last * nx, write=True)
+    yield from ctx.global_barrier()
+    cur = 0
+
+    for _ in range(cfg.iters):
+        src, dst = bufs[cur], bufs[1 - cur]
+        grid = src.data.reshape(cfg.ny, nx)
+        if ctx.is_leader:
+            # exchange node-boundary rows with neighbouring node leaders
+            reqs, stores = [], []
+            if node > 0:
+                r = yield from leaders.irecv(node - 1, tag=TAG_DOWN)
+                reqs.append(r)
+                stores.append(nlo - 1)
+            if node < nnodes - 1:
+                r = yield from leaders.irecv(node + 1, tag=TAG_UP)
+                reqs.append(r)
+                stores.append(nhi)
+            nrecv = len(reqs)
+            if node > 0:
+                r = yield from leaders.isend(grid[nlo].copy(), node - 1, tag=TAG_UP)
+                reqs.append(r)
+            if node < nnodes - 1:
+                r = yield from leaders.isend(grid[nhi - 1].copy(), node + 1, tag=TAG_DOWN)
+                reqs.append(r)
+            got = yield from leaders.waitall(reqs)
+            for row, vals in zip(stores, got[:nrecv]):
+                grid[row] = vals
+                yield from ctx.stouch(src, row * nx, (row + 1) * nx, write=True)
+        # halo rows visible to node peers before anyone reads them
+        yield from ctx.node_barrier()
+        # my slice: reads of the peer's adjacent rows are coherence traffic
+        yield from ctx.stouch(src, (mlo - 1) * nx, mhi * nx + nx, write=False)
+        new = sweep_rows(grid, mlo, mhi)
+        dst.data.reshape(cfg.ny, nx)[mlo:mhi] = new
+        yield from ctx.stouch(dst, mlo * nx, mhi * nx, write=True)
+        yield from ctx.mpi.compute((mhi - mlo) * nx * mcfg.point_update_ns)
+        # everyone's dst complete before leaders ship the next halos
+        yield from ctx.node_barrier()
+        cur = 1 - cur
+
+    final = bufs[cur].data.reshape(cfg.ny, nx)
+    local = float(np.abs(final[mlo:mhi]).sum())
+    if ctx.rank == 0:
+        local += float(np.abs(final[0]).sum())
+    if ctx.rank == ctx.nprocs - 1:
+        local += float(np.abs(final[-1]).sum())
+    checksum = yield from ctx.allreduce(local)
+    return checksum

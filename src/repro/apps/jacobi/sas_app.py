@@ -1,0 +1,61 @@
+"""Regular-grid Jacobi under CC-SAS: one shared grid, no explicit halos.
+
+The grid lives once in shared memory (double-buffered).  Each rank updates
+its row block reading neighbour rows straight out of the shared array —
+the two boundary rows of each block are the only lines that miss remotely,
+so the "communication" cost is exactly two rows of cache lines per sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.jacobi.common import JacobiConfig, initial_grid, row_block, sweep_rows
+
+__all__ = ["jacobi_sas"]
+
+
+def jacobi_sas(ctx, cfg: JacobiConfig) -> Generator:
+    """One rank of the CC-SAS Jacobi; returns the global |grid| checksum."""
+    mcfg = ctx.machine.config
+    me = ctx.rank
+    nx = cfg.nx
+    lo, hi = row_block(cfg.ny, ctx.nprocs, me)
+    bufs = [
+        ctx.shalloc("grid_a", (cfg.ny * nx,), np.float64),
+        ctx.shalloc("grid_b", (cfg.ny * nx,), np.float64),
+    ]
+    # parallel initialisation: each rank first-touches its own block so the
+    # pages land on its node (get this wrong and every access goes to one
+    # hot home node — the classic SAS pitfall, measured in R-F4)
+    init = initial_grid(cfg)
+    first = 0 if me == 0 else lo
+    last = cfg.ny if me == ctx.nprocs - 1 else hi
+    for b in bufs:
+        b.data.reshape(cfg.ny, nx)[first:last] = init[first:last]
+        yield from ctx.stouch(b, first * nx, last * nx, write=True)
+    yield from ctx.barrier()
+    cur = 0
+
+    for _ in range(cfg.iters):
+        src, dst = bufs[cur], bufs[1 - cur]
+        grid = src.data.reshape(cfg.ny, nx)
+        # my block (cached) plus the two neighbour boundary rows (miss)
+        yield from ctx.stouch(src, (lo - 1) * nx, hi * nx + nx, write=False)
+        new = sweep_rows(grid, lo, hi)
+        dst.data.reshape(cfg.ny, nx)[lo:hi] = new
+        yield from ctx.stouch(dst, lo * nx, hi * nx, write=True)
+        yield from ctx.compute((hi - lo) * nx * mcfg.point_update_ns)
+        yield from ctx.barrier()
+        cur = 1 - cur
+
+    final = bufs[cur].data.reshape(cfg.ny, nx)
+    local = float(np.abs(final[lo:hi]).sum())
+    if me == 0:
+        local += float(np.abs(final[0]).sum())
+    if me == ctx.nprocs - 1:
+        local += float(np.abs(final[-1]).sum())
+    checksum = yield from ctx.reduce_all(local)
+    return checksum

@@ -1,0 +1,137 @@
+"""Shared configuration and numerics for the N-body application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.apps.nbody.tree import QuadTree
+from repro.workloads.plummer import plummer_bodies, uniform_bodies
+
+__all__ = [
+    "NBodyConfig",
+    "morton_order",
+    "initial_bodies",
+    "cost_ranges",
+    "step_bodies",
+    "reference_checksum",
+]
+
+
+@dataclass(frozen=True)
+class NBodyConfig:
+    """Parameters of one N-body run (model-independent)."""
+
+    n: int = 512
+    steps: int = 3
+    theta: float = 0.7
+    dt: float = 1e-3
+    eps: float = 1e-3
+    distribution: str = "plummer"   # or "uniform"
+    use_costzones: bool = True      # False: equal-count (static) ranges
+    seed: int = 0
+    body_bytes: int = 48            # pos+vel+mass+id on the wire
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.steps < 1:
+            raise ValueError("n and steps must be >= 1")
+        if not 0 < self.theta < 2:
+            raise ValueError(f"theta should be in (0, 2), got {self.theta}")
+        if self.distribution not in ("plummer", "uniform"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+
+def morton_order(pos: np.ndarray, bits: int = 10) -> np.ndarray:
+    """Indices sorting bodies along the Morton (Z-order) curve.
+
+    Contiguous index ranges then correspond to spatial regions, which is
+    what makes cost-zones ranges genuine *zones* (and what a tree-ordered
+    body array gives real Barnes-Hut codes for free).
+    """
+    scale = (1 << bits) - 1
+    xi = np.clip((pos[:, 0] * scale).astype(np.int64), 0, scale)
+    yi = np.clip((pos[:, 1] * scale).astype(np.int64), 0, scale)
+    key = np.zeros(len(pos), dtype=np.int64)
+    for b in range(bits):
+        key |= ((xi >> b) & 1) << (2 * b)
+        key |= ((yi >> b) & 1) << (2 * b + 1)
+    return np.argsort(key, kind="stable")
+
+
+def initial_bodies(cfg: NBodyConfig) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bodies in Morton order (spatially sorted), deterministically."""
+    gen = plummer_bodies if cfg.distribution == "plummer" else uniform_bodies
+    pos, vel, mass = gen(cfg.n, seed=cfg.seed)
+    order = morton_order(pos)
+    return pos[order], vel[order], mass[order]
+
+
+def cost_ranges(costs: np.ndarray, nprocs: int) -> List[Tuple[int, int]]:
+    """Cost-zones split: contiguous body ranges of ≈ equal total cost.
+
+    ``costs`` is the per-body interaction count measured last step; an all-
+    ones array gives plain block partitioning (step 0).  Deterministic, so
+    every rank computes the same split from the same (replicated) costs.
+    """
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    costs = np.asarray(costs, dtype=np.float64)
+    n = len(costs)
+    cum = np.cumsum(costs)
+    total = cum[-1] if n else 0.0
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for p in range(nprocs):
+        if p == nprocs - 1:
+            hi = n
+        else:
+            target = total * (p + 1) / nprocs
+            hi = int(np.searchsorted(cum, target, side="left")) + 1
+            hi = max(lo, min(hi, n))
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def step_bodies(
+    cfg: NBodyConfig,
+    pos: np.ndarray,
+    vel: np.ndarray,
+    mass: np.ndarray,
+    lo: int,
+    hi: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, set]:
+    """Tree-build + force + leapfrog for bodies ``[lo, hi)``.
+
+    Returns (new positions slice, new velocities slice, per-body
+    interaction counts, nodes created, visited node ids).  Positions are
+    clipped to the unit square so the next tree build never overflows.
+    """
+    tree = QuadTree()
+    nodes = tree.build(pos, mass)
+    counts = np.zeros(hi - lo)
+    acc = np.zeros((hi - lo, 2))
+    visited: set = set()
+    for j, i in enumerate(range(lo, hi)):
+        ax, ay, c = tree.accel(i, theta=cfg.theta, eps=cfg.eps, visited=visited)
+        acc[j] = (ax, ay)
+        counts[j] = c
+    new_vel = vel[lo:hi] + cfg.dt * acc
+    new_pos = np.clip(pos[lo:hi] + cfg.dt * new_vel, 0.0, 1.0)
+    return new_pos, new_vel, counts, nodes, visited
+
+
+def reference_checksum(cfg: NBodyConfig) -> float:
+    """Sequential trajectory; the value every model must reproduce."""
+    pos, vel, mass = initial_bodies(cfg)
+    costs = np.ones(cfg.n)
+    for _ in range(cfg.steps):
+        ranges = cost_ranges(costs, 1)
+        lo, hi = ranges[0]
+        new_pos, new_vel, counts, _, _ = step_bodies(cfg, pos, vel, mass, lo, hi)
+        pos = new_pos
+        vel = new_vel
+        costs = counts
+    return float(pos.sum() + vel.sum())

@@ -1,0 +1,19 @@
+"""Experiment harness: run app × model × P sweeps and format the results."""
+
+from repro.harness.experiment import APPS, run_app, sweep
+from repro.harness.breakdown import breakdown_rows, comm_stats_rows
+from repro.harness.tables import format_table
+from repro.harness.figures import ascii_chart
+from repro.harness.loc import count_loc, effort_table
+
+__all__ = [
+    "APPS",
+    "run_app",
+    "sweep",
+    "breakdown_rows",
+    "comm_stats_rows",
+    "format_table",
+    "ascii_chart",
+    "count_loc",
+    "effort_table",
+]

@@ -1,0 +1,60 @@
+"""Time-breakdown and communication-statistics extraction (R-T1, R-T2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.models.base import ProgramResult
+
+__all__ = ["breakdown_rows", "comm_stats_rows"]
+
+
+def breakdown_rows(result: ProgramResult) -> List[Dict[str, float]]:
+    """Per-rank compute/comm/sync/stall shares (ms and % of busy time)."""
+    rows = []
+    for c in result.stats.per_cpu[: result.nprocs]:
+        busy = max(c.busy_ns, 1e-9)
+        rows.append(
+            {
+                "rank": c.cpu,
+                "compute_ms": c.compute_ns / 1e6,
+                "comm_ms": c.comm_ns / 1e6,
+                "sync_ms": c.sync_ns / 1e6,
+                "stall_ms": c.stall_ns / 1e6,
+                "compute_pct": 100.0 * c.compute_ns / busy,
+                "comm_pct": 100.0 * c.comm_ns / busy,
+                "sync_pct": 100.0 * c.sync_ns / busy,
+                "stall_pct": 100.0 * c.stall_ns / busy,
+            }
+        )
+    return rows
+
+
+def aggregate_breakdown(result: ProgramResult) -> Dict[str, float]:
+    """Machine-wide breakdown as a fraction of total busy time."""
+    totals = result.stats.breakdown_totals()
+    busy = max(sum(totals.values()), 1e-9)
+    out = {f"{k}_pct": 100.0 * v / busy for k, v in totals.items()}
+    out.update({f"{k}_ms": v / 1e6 for k, v in totals.items()})
+    return out
+
+
+def comm_stats_rows(result: ProgramResult) -> Dict[str, float]:
+    """The communication counters experiment R-T2 tabulates."""
+    s = result.stats
+    return {
+        "model": result.model,
+        "nprocs": result.nprocs,
+        "messages": s.total("msgs_sent"),
+        "message_bytes": s.total("bytes_sent"),
+        "puts": s.total("puts"),
+        "put_bytes": s.total("put_bytes"),
+        "gets": s.total("gets"),
+        "atomics": s.total("atomics"),
+        "l2_hits": s.total("l2_hits"),
+        "local_misses": s.total("local_misses"),
+        "remote_misses": s.total("remote_misses"),
+        "dirty_misses": s.total("dirty_misses"),
+        "invalidations": s.total("invalidations_sent"),
+        "network_bytes": s.network_bytes,
+    }

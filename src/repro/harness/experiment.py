@@ -1,0 +1,130 @@
+"""Running applications under models and collecting sweep results.
+
+``run_app("adapt", "mpi", 8)`` runs one configuration; ``sweep`` produces
+the rows behind every speedup figure in EXPERIMENTS.md.  Workload
+trajectories (the adapt script) are cached per (config, nprocs) because
+they are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.models.base import ProgramResult
+from repro.models.registry import run_program
+
+__all__ = ["APPS", "SweepRow", "run_app", "sweep"]
+
+_script_cache: Dict[Any, Any] = {}
+
+
+def _adapt_runner(model: str, nprocs: int, workload, placement: str) -> ProgramResult:
+    from repro.apps.adapt import ADAPT_PROGRAMS, AdaptConfig, build_script
+
+    cfg = workload or AdaptConfig()
+    key = ("adapt", cfg, nprocs)
+    script = _script_cache.get(key)
+    if script is None:
+        script = build_script(cfg, nprocs)
+        _script_cache[key] = script
+    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement)
+
+
+def _nbody_runner(model: str, nprocs: int, workload, placement: str) -> ProgramResult:
+    from repro.apps.nbody import NBODY_PROGRAMS, NBodyConfig
+
+    cfg = workload or NBodyConfig()
+    return run_program(model, NBODY_PROGRAMS[model], nprocs, cfg, placement=placement)
+
+
+def _jacobi_runner(model: str, nprocs: int, workload, placement: str) -> ProgramResult:
+    from repro.apps.jacobi import JACOBI_PROGRAMS, JacobiConfig
+
+    cfg = workload or JacobiConfig()
+    return run_program(model, JACOBI_PROGRAMS[model], nprocs, cfg, placement=placement)
+
+
+def _adapt3d_runner(model: str, nprocs: int, workload, placement: str) -> ProgramResult:
+    from repro.apps.adapt import ADAPT_PROGRAMS
+    from repro.apps.adapt3d import Adapt3DConfig, build_script3d
+
+    cfg = workload or Adapt3DConfig()
+    key = ("adapt3d", cfg, nprocs)
+    script = _script_cache.get(key)
+    if script is None:
+        script = build_script3d(cfg, nprocs)
+        _script_cache[key] = script
+    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement)
+
+
+APPS = {
+    "adapt": _adapt_runner,
+    "adapt3d": _adapt3d_runner,
+    "nbody": _nbody_runner,
+    "jacobi": _jacobi_runner,
+}
+
+
+def run_app(
+    app: str,
+    model: str,
+    nprocs: int,
+    workload: Any = None,
+    placement: str = "first-touch",
+) -> ProgramResult:
+    """Run one (app, model, nprocs) configuration on a fresh machine."""
+    try:
+        runner = APPS[app]
+    except KeyError:
+        raise ValueError(f"unknown app {app!r}; choose from {sorted(APPS)}") from None
+    return runner(model, nprocs, workload, placement)
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (app, model, P) measurement."""
+
+    app: str
+    model: str
+    nprocs: int
+    elapsed_ms: float
+    speedup: float
+    efficiency: float
+
+
+def sweep(
+    app: str,
+    models: Sequence[str] = ("mpi", "shmem", "sas"),
+    nprocs_list: Iterable[int] = (1, 2, 4, 8),
+    workload: Any = None,
+    placement: str = "first-touch",
+    baseline_model: Optional[str] = None,
+) -> List[SweepRow]:
+    """Run the full cross product; speedups are vs each model's own P=1
+    time (or vs ``baseline_model``'s P=1 time when given — the paper-style
+    normalisation to a common uniprocessor baseline)."""
+    nprocs_list = list(nprocs_list)
+    results: Dict[tuple, ProgramResult] = {}
+    for model in models:
+        for n in nprocs_list:
+            results[(model, n)] = run_app(app, model, n, workload, placement)
+    rows: List[SweepRow] = []
+    for model in models:
+        base_model = baseline_model or model
+        base = results.get((base_model, 1))
+        base_ms = base.elapsed_ms if base is not None else results[(model, nprocs_list[0])].elapsed_ms
+        for n in nprocs_list:
+            r = results[(model, n)]
+            sp = base_ms / r.elapsed_ms if r.elapsed_ms > 0 else 0.0
+            rows.append(
+                SweepRow(
+                    app=app,
+                    model=model,
+                    nprocs=n,
+                    elapsed_ms=r.elapsed_ms,
+                    speedup=sp,
+                    efficiency=sp / n,
+                )
+            )
+    return rows

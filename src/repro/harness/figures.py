@@ -1,0 +1,51 @@
+"""ASCII line charts for terminal-friendly "figures"."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot named (x, y) series on a shared-axes character grid."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title or "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(min(ys), 0.0), max(ys)
+    xspan = max(xmax - xmin, 1e-12)
+    yspan = max(ymax - ymin, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(sorted(series.items())):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in pts:
+            col = int(round((x - xmin) / xspan * (width - 1)))
+            row = height - 1 - int(round((y - ymin) / yspan * (height - 1)))
+            grid[row][col] = mark
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        yval = ymax - r * yspan / (height - 1)
+        lines.append(f"{yval:8.2f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9s} {xmin:<10.3g}{xlabel:^{max(width - 20, 0)}}{xmax:>10.3g}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(sorted(series))
+    )
+    lines.append(f"{'':9s} legend: {legend}")
+    if ylabel:
+        lines.append(f"{'':9s} y: {ylabel}")
+    return "\n".join(lines)

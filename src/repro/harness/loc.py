@@ -1,0 +1,57 @@
+"""Programming-effort measurement: lines of code per model implementation.
+
+The SC-era model comparisons report lines of code as the (crude but
+telling) effort proxy; experiment R-T3 reproduces that table by counting
+the *logical* lines (non-blank, non-comment, excluding docstrings) of each
+model's application files — which here are genuinely separate
+implementations.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = ["count_loc", "effort_table"]
+
+_APP_FILES = {
+    "adapt": {"mpi": "mpi_app.py", "shmem": "shmem_app.py", "sas": "sas_app.py"},
+    "nbody": {"mpi": "mpi_app.py", "shmem": "shmem_app.py", "sas": "sas_app.py"},
+    "jacobi": {"mpi": "mpi_app.py", "shmem": "shmem_app.py", "sas": "sas_app.py"},
+}
+
+
+def count_loc(path: Path) -> int:
+    """Logical lines of code: non-blank, non-comment, non-docstring."""
+    source = Path(path).read_text()
+    tree = ast.parse(source)
+    doc_lines = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = getattr(node, "body", [])
+            if body and isinstance(body[0], ast.Expr) and isinstance(
+                body[0].value, ast.Constant
+            ) and isinstance(body[0].value.value, str):
+                doc_lines.update(range(body[0].lineno, body[0].end_lineno + 1))
+    count = 0
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#") or lineno in doc_lines:
+            continue
+        count += 1
+    return count
+
+
+def effort_table(apps_dir: Path = None) -> List[Dict[str, object]]:
+    """LoC per (app, model); rows suitable for format_dict_table."""
+    if apps_dir is None:
+        apps_dir = Path(__file__).resolve().parent.parent / "apps"
+    rows: List[Dict[str, object]] = []
+    for app, files in _APP_FILES.items():
+        row: Dict[str, object] = {"app": app}
+        for model, fname in files.items():
+            path = Path(apps_dir) / app / fname
+            row[model] = count_loc(path) if path.exists() else 0
+        rows.append(row)
+    return rows

@@ -1,0 +1,46 @@
+"""Plain-text table formatting for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_dict_table"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    srows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in srows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_dict_table(dicts: Sequence[dict], keys: Sequence[str] = (), title: str = "") -> str:
+    """Table from a list of homogeneous dicts (keys default to the first's)."""
+    if not dicts:
+        return title or "(empty)"
+    cols = list(keys) if keys else list(dicts[0])
+    rows = [[d.get(k, "") for k in cols] for d in dicts]
+    return format_table(cols, rows, title=title)

@@ -1,0 +1,15 @@
+"""Simulated SGI Origin2000: a directory-based ccNUMA multiprocessor.
+
+The machine is composed of *nodes* (two processors + hub + local memory +
+directory slice each) connected by a bristled fat hypercube of routers, as in
+the real Origin2000.  Three runtime layers (:mod:`repro.models.mpi`,
+:mod:`repro.models.shmem`, :mod:`repro.models.sas`) sit on top of this model
+and charge their costs through it.
+"""
+
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.machine.stats import CpuStats, MachineStats
+from repro.machine.topology import Topology
+
+__all__ = ["Machine", "MachineConfig", "MachineStats", "CpuStats", "Topology"]

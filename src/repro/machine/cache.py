@@ -1,0 +1,122 @@
+"""Per-processor L2 cache model (set-associative, LRU, write-back).
+
+The cache tracks *which* lines are resident and whether they are dirty; the
+actual data lives once in the shared NumPy arrays (this is a cost model, not
+a value model).  The directory calls :meth:`drop` to enforce invalidations
+and downgrades, keeping the cache contents consistent with the protocol
+state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+__all__ = ["CacheModel"]
+
+
+class CacheModel:
+    """Set-associative LRU cache keyed by line address (an int)."""
+
+    def __init__(self, sets: int, assoc: int, line_bytes: int, name: str = ""):
+        if sets < 1 or assoc < 1:
+            raise ValueError("sets and assoc must be >= 1")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        self.sets = sets
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.name = name
+        self._line_shift = line_bytes.bit_length() - 1
+        # per-set ordered map: line -> dirty flag, LRU order = insertion order
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- addressing ----------------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def set_of(self, line: int) -> int:
+        return line % self.sets
+
+    # -- operations -----------------------------------------------------------
+
+    def access(self, line: int, write: bool) -> Tuple[bool, Optional[int]]:
+        """Access a line; returns ``(hit, evicted_dirty_line_or_None)``.
+
+        On a miss the line is installed, evicting the LRU way if the set is
+        full.  The evicted line is returned only if it was dirty (it would be
+        written back); clean evictions are silent.  The caller (directory) is
+        responsible for protocol bookkeeping of both the fill and any
+        eviction.
+        """
+        s = self._sets.get(self.set_of(line))
+        if s is not None and line in s:
+            self.hits += 1
+            s.move_to_end(line)
+            if write:
+                s[line] = True
+            return True, None
+        self.misses += 1
+        if s is None:
+            s = OrderedDict()
+            self._sets[self.set_of(line)] = s
+        evicted_dirty = None
+        if len(s) >= self.assoc:
+            old_line, old_dirty = s.popitem(last=False)
+            self.evictions += 1
+            if old_dirty:
+                self.writebacks += 1
+                evicted_dirty = old_line
+            else:
+                evicted_dirty = None
+            self._note_eviction(old_line)
+        s[line] = write
+        return False, evicted_dirty
+
+    _evict_hook = None
+
+    def _note_eviction(self, line: int) -> None:
+        if self._evict_hook is not None:
+            self._evict_hook(line)
+
+    def set_evict_hook(self, hook) -> None:
+        """Callback(line) invoked on every eviction (clean or dirty)."""
+        self._evict_hook = hook
+
+    def contains(self, line: int) -> bool:
+        s = self._sets.get(self.set_of(line))
+        return s is not None and line in s
+
+    def is_dirty(self, line: int) -> bool:
+        s = self._sets.get(self.set_of(line))
+        return bool(s and s.get(line, False))
+
+    def drop(self, line: int) -> bool:
+        """Invalidate a line (directory-initiated); True if it was present."""
+        s = self._sets.get(self.set_of(line))
+        if s is not None and line in s:
+            del s[line]
+            return True
+        return False
+
+    def downgrade(self, line: int) -> bool:
+        """Clear the dirty bit (exclusive→shared); True if line present."""
+        s = self._sets.get(self.set_of(line))
+        if s is not None and line in s:
+            s[line] = False
+            return True
+        return False
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets.values())
+
+    def flush(self) -> int:
+        """Drop everything (e.g. between experiment repetitions)."""
+        n = self.resident_lines()
+        self._sets.clear()
+        return n

@@ -1,0 +1,189 @@
+"""Directory-based cache-coherence protocol (MESI-like) cost model.
+
+Each cache line has a directory entry at its *home node* recording the set of
+sharers and the exclusive owner (if dirty).  The protocol is evaluated
+*analytically per transaction*: a load/store that misses (or needs an
+upgrade) is charged the Origin2000 latency for the transaction type —
+
+=================  =============================================================
+outcome            charged latency
+=================  =============================================================
+L2 hit             ``l2_hit_ns``
+local miss         ``local_mem_ns`` + home-memory queueing
+remote miss        ``local_mem_ns + 2·hops·remote_hop_ns`` + queueing
+dirty (3-hop)      above + ``dirty_extra_ns`` + owner-distance hops
+upgrade/write      above + ``inval_base_ns + k·inval_per_sharer_ns`` for k
+                   sharers to invalidate
+=================  =============================================================
+
+Home-memory queueing is modelled with a deterministic FCFS busy-until clock
+per node: each transaction occupies the home memory for
+``line_bytes / mem_bandwidth`` and waits behind earlier arrivals, so heavy
+sharing of one node's memory (bad placement) costs extra — the effect
+experiment R-F4 measures.
+
+The caches are kept protocol-consistent: writes invalidate remote copies,
+reads downgrade dirty owners, evictions clear directory state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.machine.cache import CacheModel
+from repro.machine.config import MachineConfig
+from repro.machine.memory import MemorySystem
+from repro.machine.stats import MachineStats
+from repro.machine.topology import Topology
+
+__all__ = ["Directory"]
+
+
+class _Entry:
+    __slots__ = ("sharers", "owner")
+
+    def __init__(self) -> None:
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None  # cpu holding the line dirty
+
+
+class Directory:
+    """Global directory over all nodes (sliced by home in the real machine)."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        topology: Topology,
+        memory: MemorySystem,
+        caches: List[CacheModel],
+        stats: MachineStats,
+    ):
+        self.config = config
+        self.topology = topology
+        self.memory = memory
+        self.caches = caches
+        self.stats = stats
+        self._entries: Dict[int, _Entry] = {}
+        self._busy_until: List[float] = [0.0] * config.nnodes
+        self._service_ns = config.line_bytes / config.mem_bandwidth_bpns
+        for cpu, cache in enumerate(caches):
+            cache.set_evict_hook(self._make_evict_hook(cpu))
+
+    # -- eviction bookkeeping -------------------------------------------------
+
+    def _make_evict_hook(self, cpu: int):
+        def hook(line: int) -> None:
+            entry = self._entries.get(line)
+            if entry is None:
+                return
+            entry.sharers.discard(cpu)
+            if entry.owner == cpu:
+                entry.owner = None
+            if not entry.sharers and entry.owner is None:
+                del self._entries[line]
+
+        return hook
+
+    # -- the transaction ----------------------------------------------------------
+
+    def transaction(self, cpu: int, line: int, write: bool, now_ns: float) -> Tuple[float, str]:
+        """Perform one load/store; returns ``(latency_ns, kind)``.
+
+        ``kind`` is one of ``"hit"``, ``"upgrade"``, ``"local"``,
+        ``"remote"``, ``"dirty"`` and drives the per-CPU miss counters kept
+        by the caller.
+        """
+        cfg = self.config
+        cache = self.caches[cpu]
+        node = cfg.node_of_cpu(cpu)
+        entry = self._entries.get(line)
+        hit, _evicted_dirty = cache.access(line, write)
+
+        if hit:
+            if not write:
+                return cfg.l2_hit_ns, "hit"
+            # write hit: silent if already exclusive here, else upgrade
+            if entry is not None and entry.owner == cpu:
+                return cfg.l2_hit_ns, "hit"
+            home = self.memory.home_of_line(line, cfg.line_bytes, node)
+            latency = cfg.l2_hit_ns + self._home_trip_ns(node, home, now_ns)
+            latency += self._invalidate_others(cpu, line, entry)
+            entry = self._entries.setdefault(line, _Entry())
+            entry.sharers = {cpu}
+            entry.owner = cpu
+            self.stats.directory_transactions += 1
+            return latency, "upgrade"
+
+        # miss: fetch from home (possibly intervening at a dirty owner)
+        home = self.memory.home_of_line(line, cfg.line_bytes, node)
+        latency = self._home_trip_ns(node, home, now_ns)
+        kind = "local" if home == node else "remote"
+        if entry is not None and entry.owner is not None and entry.owner != cpu:
+            owner_node = cfg.node_of_cpu(entry.owner)
+            latency += cfg.dirty_extra_ns
+            latency += cfg.remote_hop_ns * self.topology.router_hops(home, owner_node)
+            kind = "dirty"
+            if write:
+                self.caches[entry.owner].drop(line)
+            else:
+                self.caches[entry.owner].downgrade(line)
+                entry.sharers.add(entry.owner)
+            entry.owner = None
+        if write:
+            latency += self._invalidate_others(cpu, line, entry)
+            entry = self._entries.setdefault(line, _Entry())
+            entry.sharers = {cpu}
+            entry.owner = cpu
+        else:
+            entry = self._entries.setdefault(line, _Entry())
+            entry.sharers.add(cpu)
+        if home != node:
+            self.stats.network_bytes += cfg.line_bytes
+        self.stats.directory_transactions += 1
+        return latency, kind
+
+    # -- pieces --------------------------------------------------------------
+
+    def _home_trip_ns(self, node: int, home: int, now_ns: float) -> float:
+        """Round trip to home memory, with FCFS queueing at the bank.
+
+        Queueing is modelled for *remote* requests only: a CPU's stream of
+        local fetches is self-limiting (it waits for each) and overlaps
+        with computation on the real machine, whereas remote requests from
+        many nodes genuinely pile up at a hot home — the effect the
+        placement experiments measure.
+        """
+        base = self.config.local_mem_ns
+        if home == node:
+            return base
+        base += 2 * self.config.remote_hop_ns * self.topology.router_hops(node, home)
+        start = max(now_ns, self._busy_until[home])
+        queue = start - now_ns
+        self._busy_until[home] = start + self._service_ns
+        return base + queue
+
+    def _invalidate_others(self, cpu: int, line: int, entry: Optional[_Entry]) -> float:
+        if entry is None:
+            return 0.0
+        victims = [s for s in entry.sharers if s != cpu]
+        if entry.owner is not None and entry.owner != cpu and entry.owner not in victims:
+            victims.append(entry.owner)
+        if not victims:
+            return 0.0
+        for victim in victims:
+            self.caches[victim].drop(line)
+        self.stats.per_cpu[cpu].invalidations_sent += len(victims)
+        return self.config.inval_base_ns + len(victims) * self.config.inval_per_sharer_ns
+
+    # -- introspection ---------------------------------------------------------
+
+    def sharers_of(self, line: int) -> Set[int]:
+        entry = self._entries.get(line)
+        return set(entry.sharers) if entry else set()
+
+    def owner_of(self, line: int) -> Optional[int]:
+        entry = self._entries.get(line)
+        return entry.owner if entry else None
+
+    def live_entries(self) -> int:
+        return len(self._entries)

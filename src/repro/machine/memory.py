@@ -1,0 +1,104 @@
+"""Physical address space, page placement, and home-node resolution.
+
+The simulated machine has a single flat physical address space carved out by
+a bump allocator.  Every page has a *home node* whose memory (and directory
+slice) serves it.  Placement policies:
+
+``first-touch``
+    The page's home is the node of the first CPU to touch it (IRIX default —
+    and the policy that makes or breaks CC-SAS performance on the
+    Origin2000).
+``round-robin``
+    Pages are interleaved across nodes by page number.
+``fixed``
+    All pages on one node (the pathological baseline in experiment R-F4).
+
+Explicit :meth:`place` overrides the policy — the SHMEM symmetric heap and
+MPI buffers use it to pin each rank's memory to its own node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.machine.config import MachineConfig
+
+__all__ = ["MemorySystem", "PLACEMENT_POLICIES"]
+
+PLACEMENT_POLICIES = ("first-touch", "round-robin", "fixed")
+
+
+class MemorySystem:
+    """Bump allocator + page→home-node map."""
+
+    def __init__(self, config: MachineConfig, policy: str = "first-touch", fixed_node: int = 0):
+        base_policy = policy.split(":")[0]
+        if base_policy not in PLACEMENT_POLICIES:
+            raise ValueError(f"unknown placement policy {policy!r}; choose from {PLACEMENT_POLICIES}")
+        if ":" in policy:  # allow "fixed:3"
+            fixed_node = int(policy.split(":", 1)[1])
+        self.config = config
+        self.policy = base_policy
+        self.fixed_node = fixed_node
+        if not 0 <= fixed_node < config.nnodes:
+            raise ValueError(f"fixed_node {fixed_node} out of range [0, {config.nnodes})")
+        self._next_addr = config.page_bytes  # keep page 0 unused (null guard)
+        self._page_home: Dict[int, int] = {}
+        self.pages_placed = 0
+
+    # -- allocation ------------------------------------------------------------
+
+    def alloc(self, nbytes: int, page_aligned: bool = False) -> int:
+        """Reserve ``nbytes`` and return the base address."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation size must be positive, got {nbytes}")
+        align = self.config.page_bytes if page_aligned else self.config.line_bytes
+        base = -(-self._next_addr // align) * align
+        self._next_addr = base + nbytes
+        return base
+
+    # -- placement ------------------------------------------------------------
+
+    def page_of(self, addr: int) -> int:
+        return addr // self.config.page_bytes
+
+    def place(self, addr: int, nbytes: int, node: int) -> None:
+        """Pin every page of ``[addr, addr+nbytes)`` to ``node``."""
+        if not 0 <= node < self.config.nnodes:
+            raise ValueError(f"node {node} out of range [0, {self.config.nnodes})")
+        first = self.page_of(addr)
+        last = self.page_of(addr + max(nbytes, 1) - 1)
+        for page in range(first, last + 1):
+            if page not in self._page_home:
+                self.pages_placed += 1
+            self._page_home[page] = node
+
+    def home_of_line(self, line: int, line_bytes: int, accessor_node: int) -> int:
+        """Home node of a cache line, applying the policy on first touch."""
+        return self.home_of(line * line_bytes, accessor_node)
+
+    def home_of(self, addr: int, accessor_node: int) -> int:
+        page = self.page_of(addr)
+        home = self._page_home.get(page)
+        if home is not None:
+            return home
+        if self.policy == "first-touch":
+            home = accessor_node % self.config.nnodes
+        elif self.policy == "round-robin":
+            home = page % self.config.nnodes
+        else:  # fixed
+            home = self.fixed_node
+        self._page_home[page] = home
+        self.pages_placed += 1
+        return home
+
+    def placement_histogram(self) -> Dict[int, int]:
+        """pages-per-node (diagnostics for the placement experiment)."""
+        hist: Dict[int, int] = {n: 0 for n in range(self.config.nnodes)}
+        for home in self._page_home.values():
+            hist[home] += 1
+        return hist
+
+    def peek_home(self, addr: int) -> Optional[int]:
+        """Home of a page if already placed, else None (does not place)."""
+        return self._page_home.get(self.page_of(addr))

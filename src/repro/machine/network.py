@@ -1,0 +1,87 @@
+"""Contended interconnect: messages occupy the links of their route.
+
+A transfer acquires every directed link on its (dimension-ordered) route in
+path order, holds them all for the pipelined transfer time, then releases.
+Because link acquisition order is strictly increasing in the global link
+ranking (hub-out < cube dim 0 < cube dim 1 < ... < hub-in), circular waits
+are impossible and the network cannot deadlock.
+
+Cost of an uncontended transfer of ``n`` bytes over ``h`` router hops::
+
+    2*hub + h*router_hop + n / link_bandwidth        (inter-node)
+    n / intra_node_copy_bandwidth                    (same node)
+
+Contention appears as queueing delay on busy links.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.machine.config import MachineConfig
+from repro.machine.stats import MachineStats
+from repro.machine.topology import Topology
+from repro.sim.engine import Delay, Engine
+from repro.sim.resources import Resource
+
+__all__ = ["Network"]
+
+
+class Network:
+    """The machine's interconnect: one FIFO resource per directed link."""
+
+    def __init__(self, engine: Engine, topology: Topology, stats: MachineStats):
+        self.engine = engine
+        self.topology = topology
+        self.config: MachineConfig = topology.config
+        self.stats = stats
+        self.link_resources: List[Resource] = [
+            Resource(engine, capacity=1, name=repr(link))
+            for link in topology.links
+        ]
+
+    # -- cost helpers ---------------------------------------------------------
+
+    def pipe_ns(self, src_node: int, dst_node: int, nbytes: int) -> float:
+        """Uncontended transfer time (used by analytic estimates and tests)."""
+        if src_node == dst_node:
+            return nbytes / self.config.intra_node_copy_bpns
+        hops = self.topology.router_hops(src_node, dst_node)
+        return (
+            2 * self.config.hub_ns
+            + hops * self.config.router_hop_ns
+            + nbytes / self.config.link_bandwidth_bpns
+        )
+
+    # -- the transfer primitive ---------------------------------------------------
+
+    def transfer(self, src_node: int, dst_node: int, nbytes: int) -> Generator:
+        """Generator: completes when the last byte arrives at ``dst_node``."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        self.stats.network_messages += 1
+        if src_node == dst_node:
+            yield Delay(nbytes / self.config.intra_node_copy_bpns)
+            return
+        self.stats.network_bytes += nbytes
+        route = self.topology.route(src_node, dst_node)
+        held: List[Resource] = []
+        try:
+            for link_idx in route:
+                res = self.link_resources[link_idx]
+                yield from res.acquire()
+                held.append(res)
+            hops = sum(1 for i in route if self.topology.links[i].kind == "cube")
+            yield Delay(
+                2 * self.config.hub_ns
+                + hops * self.config.router_hop_ns
+                + nbytes / self.config.link_bandwidth_bpns
+            )
+        finally:
+            for res in reversed(held):
+                res.release()
+
+    def link_utilisations(self) -> List[float]:
+        """Per-link utilisation over the run so far (diagnostics)."""
+        horizon = max(self.engine.now, 1e-9)
+        return [r.utilisation(horizon) for r in self.link_resources]

@@ -1,0 +1,37 @@
+"""Structural description of a node card (2 CPUs + hub + memory slice)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.machine.config import MachineConfig
+
+__all__ = ["Node", "build_nodes"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One Origin2000 node card."""
+
+    node_id: int
+    router: int
+    cpus: Tuple[int, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.node_id}, router={self.router}, cpus={list(self.cpus)})"
+
+
+def build_nodes(config: MachineConfig) -> List[Node]:
+    """Enumerate the node cards implied by the configuration."""
+    nodes: List[Node] = []
+    for node_id in range(config.nnodes):
+        cpus = tuple(
+            cpu
+            for cpu in range(
+                node_id * config.cpus_per_node,
+                min((node_id + 1) * config.cpus_per_node, config.nprocs),
+            )
+        )
+        nodes.append(Node(node_id=node_id, router=config.router_of_node(node_id), cpus=cpus))
+    return nodes

@@ -1,0 +1,115 @@
+"""Statistics counters collected by the machine and the runtimes.
+
+The paper-style evaluation needs, per processor: a time breakdown
+(compute / communication / synchronisation / memory stall), message counts
+and volumes (MPI & SHMEM), and memory-system counters (hits, local & remote
+misses, invalidations) for CC-SAS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["CpuStats", "MachineStats", "TIME_CATEGORIES"]
+
+TIME_CATEGORIES = ("compute", "comm", "sync", "stall")
+
+
+@dataclass
+class CpuStats:
+    """Per-processor counters."""
+
+    cpu: int = -1
+    # time breakdown (simulated ns)
+    compute_ns: float = 0.0
+    comm_ns: float = 0.0
+    sync_ns: float = 0.0
+    stall_ns: float = 0.0     # memory-stall time (CC-SAS)
+    # messaging
+    msgs_sent: int = 0
+    bytes_sent: int = 0
+    puts: int = 0
+    gets: int = 0
+    put_bytes: int = 0
+    get_bytes: int = 0
+    atomics: int = 0
+    # memory system
+    loads: int = 0
+    stores: int = 0
+    l2_hits: int = 0
+    local_misses: int = 0
+    remote_misses: int = 0
+    dirty_misses: int = 0
+    invalidations_sent: int = 0
+    lines_touched: int = 0
+
+    def charge(self, category: str, ns: float) -> None:
+        if category == "compute":
+            self.compute_ns += ns
+        elif category == "comm":
+            self.comm_ns += ns
+        elif category == "sync":
+            self.sync_ns += ns
+        elif category == "stall":
+            self.stall_ns += ns
+        else:
+            raise ValueError(f"unknown time category {category!r}")
+
+    @property
+    def busy_ns(self) -> float:
+        return self.compute_ns + self.comm_ns + self.sync_ns + self.stall_ns
+
+    @property
+    def misses(self) -> int:
+        return self.local_misses + self.remote_misses + self.dirty_misses
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "compute": self.compute_ns,
+            "comm": self.comm_ns,
+            "sync": self.sync_ns,
+            "stall": self.stall_ns,
+        }
+
+
+@dataclass
+class MachineStats:
+    """Machine-wide aggregation over all CPUs plus global counters."""
+
+    per_cpu: List[CpuStats] = field(default_factory=list)
+    network_bytes: int = 0
+    network_messages: int = 0
+    directory_transactions: int = 0
+
+    @classmethod
+    def for_nprocs(cls, nprocs: int) -> "MachineStats":
+        return cls(per_cpu=[CpuStats(cpu=i) for i in range(nprocs)])
+
+    def total(self, attr: str):
+        return sum(getattr(c, attr) for c in self.per_cpu)
+
+    def breakdown_totals(self) -> Dict[str, float]:
+        out = {k: 0.0 for k in TIME_CATEGORIES}
+        for c in self.per_cpu:
+            for k, v in c.breakdown().items():
+                out[k] += v
+        return out
+
+    def max_over_cpus(self, attr: str):
+        return max(getattr(c, attr) for c in self.per_cpu) if self.per_cpu else 0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "msgs_sent": self.total("msgs_sent"),
+            "bytes_sent": self.total("bytes_sent"),
+            "puts": self.total("puts"),
+            "gets": self.total("gets"),
+            "l2_hits": self.total("l2_hits"),
+            "local_misses": self.total("local_misses"),
+            "remote_misses": self.total("remote_misses"),
+            "dirty_misses": self.total("dirty_misses"),
+            "invalidations": self.total("invalidations_sent"),
+            "network_bytes": self.network_bytes,
+            "directory_transactions": self.directory_transactions,
+        }

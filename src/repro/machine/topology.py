@@ -1,0 +1,118 @@
+"""Bristled fat hypercube topology and deterministic e-cube routing.
+
+The Origin2000 attaches two nodes (hubs) to each router; routers form a
+binary hypercube.  Routing between routers is dimension-ordered ("e-cube"),
+which visits hypercube dimensions in increasing order and is therefore
+deadlock-free even when a message holds all its links for the duration of the
+transfer (the acquisition order of any path is strictly increasing in a
+global link ranking — see :mod:`repro.machine.network`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.machine.config import MachineConfig
+
+__all__ = ["Link", "Topology"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed channel.
+
+    ``kind`` is one of ``"hub-out"`` (node→router), ``"hub-in"``
+    (router→node) or ``"cube"`` (router→router across one hypercube
+    dimension).  ``rank`` orders links so every route acquires links in
+    strictly increasing rank, guaranteeing deadlock freedom.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    dim: int = -1
+
+    @property
+    def rank(self) -> int:
+        if self.kind == "hub-out":
+            return 0
+        if self.kind == "cube":
+            return self.dim + 1
+        return 1_000_000  # hub-in: always last
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.kind},{self.src}->{self.dst},dim={self.dim})"
+
+
+class Topology:
+    """Precomputed routes between every pair of nodes."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.nnodes = config.nnodes
+        self.nrouters = config.nrouters
+        self.dim = max(self.nrouters - 1, 0).bit_length()
+        self.links: List[Link] = []
+        self._link_index: Dict[Tuple[str, int, int], int] = {}
+        self._build_links()
+        self._routes: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def _add_link(self, link: Link) -> None:
+        self._link_index[(link.kind, link.src, link.dst)] = len(self.links)
+        self.links.append(link)
+
+    def _build_links(self) -> None:
+        for node in range(self.nnodes):
+            router = self.config.router_of_node(node)
+            self._add_link(Link("hub-out", node, router))
+            self._add_link(Link("hub-in", router, node))
+        for router in range(self.nrouters):
+            for d in range(self.dim):
+                peer = router ^ (1 << d)
+                if peer < self.nrouters:
+                    self._add_link(Link("cube", router, peer, dim=d))
+
+    # -- queries ------------------------------------------------------------
+
+    def router_hops(self, node_a: int, node_b: int) -> int:
+        """Number of router-to-router hops between two nodes."""
+        ra = self.config.router_of_node(node_a)
+        rb = self.config.router_of_node(node_b)
+        return bin(ra ^ rb).count("1")
+
+    def route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
+        """Link indices along the deterministic path ``src -> dst``.
+
+        Empty for ``src == dst`` (intra-node traffic never enters the
+        network).  Routes are cached.
+        """
+        key = (src_node, dst_node)
+        cached = self._routes.get(key)
+        if cached is not None:
+            return cached
+        if src_node == dst_node:
+            self._routes[key] = ()
+            return ()
+        path: List[int] = [self._link_index[("hub-out", src_node, self.config.router_of_node(src_node))]]
+        cur = self.config.router_of_node(src_node)
+        target = self.config.router_of_node(dst_node)
+        for d in range(self.dim):  # dimension-order routing
+            if (cur ^ target) & (1 << d):
+                nxt = cur ^ (1 << d)
+                path.append(self._link_index[("cube", cur, nxt)])
+                cur = nxt
+        path.append(self._link_index[("hub-in", target, dst_node)])
+        route = tuple(path)
+        self._routes[key] = route
+        return route
+
+    def describe(self) -> str:
+        """Human-readable summary, used by examples and the harness."""
+        return (
+            f"Origin2000 model: {self.config.nprocs} CPUs on {self.nnodes} node(s), "
+            f"{self.nrouters} router(s), hypercube dim {self.dim}, "
+            f"{len(self.links)} directed links"
+        )

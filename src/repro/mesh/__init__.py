@@ -1,0 +1,37 @@
+"""Unstructured 2-D triangular mesh with dynamic adaptation.
+
+This is the substrate of the paper's headline application: an edge-based
+triangular mesh that is repeatedly *refined* around a moving feature and
+*coarsened* behind it (the Biswas–Strawn edge-marking scheme: 1:4 isotropic
+subdivision for fully marked elements, 1:2 bisection closure for singly
+marked ones), with quality metrics and a dual graph for partitioning.
+"""
+
+from repro.mesh.mesh2d import TriMesh
+from repro.mesh.generator import structured_mesh, delaunay_mesh
+from repro.mesh.refine import RefinementReport, close_marks, refine
+from repro.mesh.coarsen import coarsen
+from repro.mesh.quality import mesh_quality, triangle_angles, triangle_areas
+from repro.mesh.error import gradient_indicator, distance_band_marks
+from repro.mesh.dual import dual_graph, partition_boundary_edges
+from repro.mesh.mesh3d import TetMesh
+from repro.mesh.generator3d import structured_tet_mesh
+
+__all__ = [
+    "TriMesh",
+    "structured_mesh",
+    "delaunay_mesh",
+    "RefinementReport",
+    "close_marks",
+    "refine",
+    "coarsen",
+    "mesh_quality",
+    "triangle_angles",
+    "triangle_areas",
+    "gradient_indicator",
+    "distance_band_marks",
+    "dual_graph",
+    "partition_boundary_edges",
+    "TetMesh",
+    "structured_tet_mesh",
+]

@@ -1,0 +1,110 @@
+"""Tetrahedral coarsening: batch family merging (3-D analogue of
+:mod:`repro.mesh.coarsen`, same midpoint-privacy fixpoint)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.mesh.mesh3d import TetMesh
+
+__all__ = ["Coarsening3DReport", "coarsen3d"]
+
+
+@dataclass
+class Coarsening3DReport:
+    families_merged: int = 0
+    tets_removed: int = 0
+    tets_revived: int = 0
+    families: Dict[int, Tuple[int, ...]] = None
+
+    def __post_init__(self):
+        if self.families is None:
+            self.families = {}
+
+
+def coarsen3d(mesh: TetMesh, candidates: Set[int], strict: bool = True) -> Coarsening3DReport:
+    """Merge red families whose children are all in ``candidates``.
+
+    With ``strict=True`` a family merges only when its midpoints are
+    private to the coarsening batch, so the mesh stays conforming — but in
+    3-D an edge midpoint is shared by *many* families, and one blocked
+    family at the wake/front interface percolates through the whole
+    candidate region.  ``strict=False`` merges every complete candidate
+    family regardless; the mesh is temporarily non-conforming and the
+    caller (``adapt_phase3d``) repairs the exposed hanging nodes in the
+    same phase via ``hanging_edge_marks3d`` + the green closure — exactly
+    the derefinement discipline production tet codes use.
+    """
+    report = Coarsening3DReport()
+    by_parent: Dict[int, Set[int]] = {}
+    for tid in candidates:
+        if 0 <= tid < mesh.num_all_tets and mesh.alive[tid]:
+            parent = mesh.parent[tid]
+            if parent >= 0 and parent not in mesh.green:
+                by_parent.setdefault(parent, set()).add(tid)
+
+    eligible: Dict[int, Tuple[int, ...]] = {}
+    for parent, kids in by_parent.items():
+        family = mesh.children.get(parent)
+        if family is None or set(family) != kids:
+            continue
+        if any(not mesh.alive[c] for c in family):
+            continue
+        eligible[parent] = family
+    if not eligible:
+        return report
+
+    if not strict:
+        for parent in sorted(eligible):
+            family = eligible[parent]
+            for child in family:
+                mesh.kill(child)
+            mesh.revive(parent)
+            del mesh.children[parent]
+            report.families[parent] = family
+            report.families_merged += 1
+            report.tets_removed += len(family)
+            report.tets_revived += 1
+        return report
+
+    usage: Dict[int, int] = {}
+    for tid in mesh.alive_tets():
+        for v in mesh.tets[tid]:
+            usage[v] = usage.get(v, 0) + 1
+    eligible_usage: Dict[int, int] = {}
+    midpoints: Dict[int, List[int]] = {}
+    for parent, family in eligible.items():
+        parent_verts = set(mesh.tets[parent])
+        mids: Set[int] = set()
+        for child in family:
+            for v in mesh.tets[child]:
+                eligible_usage[v] = eligible_usage.get(v, 0) + 1
+                if v not in parent_verts:
+                    mids.add(v)
+        midpoints[parent] = sorted(mids)
+
+    changed = True
+    while changed:
+        changed = False
+        for parent in sorted(eligible):
+            if any(
+                usage.get(m, 0) > eligible_usage.get(m, 0) for m in midpoints[parent]
+            ):
+                for child in eligible[parent]:
+                    for v in mesh.tets[child]:
+                        eligible_usage[v] -= 1
+                del eligible[parent]
+                changed = True
+
+    for parent in sorted(eligible):
+        family = eligible[parent]
+        for child in family:
+            mesh.kill(child)
+        mesh.revive(parent)
+        del mesh.children[parent]
+        report.families[parent] = family
+        report.families_merged += 1
+        report.tets_removed += len(family)
+        report.tets_revived += 1
+    return report

@@ -1,0 +1,68 @@
+"""Dual graph of the mesh (elements = nodes) for partitioning, plus
+partition-boundary queries used by the halo-exchange layers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.mesh.mesh2d import EdgeKey, TriMesh
+
+__all__ = ["dual_graph", "partition_boundary_edges", "shared_vertices"]
+
+
+def dual_graph(mesh) -> Tuple[List[int], Dict[int, List[int]]]:
+    """Element adjacency: shared edges in 2-D, shared faces in 3-D.
+
+    Returns ``(tids, adj)`` where ``tids`` is the alive-element list and
+    ``adj`` maps each alive element to its (sorted) neighbours.  Works for
+    :class:`~repro.mesh.mesh2d.TriMesh` and, by duck-typing on
+    ``tet_faces``, :class:`~repro.mesh.mesh3d.TetMesh`.
+    """
+    tids = mesh.alive_tris()
+    adj: Dict[int, List[int]] = {t: [] for t in tids}
+    shared = mesh.faces() if hasattr(mesh, "tet_faces") else mesh.edges()
+    for _key, ts in shared.items():
+        if len(ts) == 2:
+            a, b = ts
+            adj[a].append(b)
+            adj[b].append(a)
+    for t in adj:
+        adj[t].sort()
+    return tids, adj
+
+
+def partition_boundary_edges(
+    mesh: TriMesh, owner: Dict[int, int]
+) -> Dict[Tuple[int, int], List[EdgeKey]]:
+    """Edges straddling partitions: ``(part_a, part_b) -> [edges]``, a < b.
+
+    ``owner`` maps alive triangle id -> partition.  The result drives ghost
+    exchange: parts a and b must exchange data across exactly these edges.
+    """
+    out: Dict[Tuple[int, int], List[EdgeKey]] = {}
+    for e, ts in mesh.edges().items():
+        if len(ts) != 2:
+            continue
+        pa, pb = owner[ts[0]], owner[ts[1]]
+        if pa == pb:
+            continue
+        key = (pa, pb) if pa < pb else (pb, pa)
+        out.setdefault(key, []).append(e)
+    for key in out:
+        out[key].sort()
+    return out
+
+
+def shared_vertices(mesh: TriMesh, owner: Dict[int, int], nparts: int) -> List[Set[int]]:
+    """Per-partition set of vertices shared with at least one other part."""
+    vert_parts: Dict[int, Set[int]] = {}
+    for tid in mesh.alive_tris():
+        p = owner[tid]
+        for v in mesh.tri_verts(tid):
+            vert_parts.setdefault(v, set()).add(p)
+    shared: List[Set[int]] = [set() for _ in range(nparts)]
+    for v, parts in vert_parts.items():
+        if len(parts) > 1:
+            for p in parts:
+                shared[p].add(v)
+    return shared

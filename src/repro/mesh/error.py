@@ -1,0 +1,68 @@
+"""Error indicators that drive edge marking.
+
+Two drivers are provided:
+
+* :func:`gradient_indicator` — solution-based: an edge's error is the jump
+  of a vertex field across it (the classic CFD indicator),
+* :func:`distance_band_marks` — geometry-based: mark edges within a band of
+  a moving front (the synthetic stand-in for the paper's shock workload;
+  see ``repro.workloads.shock``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set
+
+import numpy as np
+
+from repro.mesh.mesh2d import EdgeKey, TriMesh
+
+__all__ = ["gradient_indicator", "mark_by_threshold", "distance_band_marks"]
+
+
+def gradient_indicator(mesh: TriMesh, vertex_values: np.ndarray) -> Dict[EdgeKey, float]:
+    """Per-edge error: |field jump| scaled by edge length."""
+    values = np.asarray(vertex_values, dtype=np.float64)
+    if values.shape[0] < mesh.num_vertices:
+        raise ValueError(
+            f"need a value per vertex ({mesh.num_vertices}), got {values.shape[0]}"
+        )
+    verts = mesh.verts_array()
+    out: Dict[EdgeKey, float] = {}
+    for e in mesh.edges():
+        a, b = e
+        length = float(np.hypot(*(verts[a] - verts[b])))
+        out[e] = abs(float(values[a] - values[b])) * length
+    return out
+
+
+def mark_by_threshold(errors: Dict[EdgeKey, float], threshold: float) -> Set[EdgeKey]:
+    """Edges whose indicator exceeds ``threshold``."""
+    return {e for e, err in errors.items() if err > threshold}
+
+
+def distance_band_marks(
+    mesh: TriMesh,
+    distance_fn: Callable[[float, float], float],
+    band: float,
+    max_level: int = 10,
+) -> Set[EdgeKey]:
+    """Mark alive edges whose midpoint is within ``band`` of a front.
+
+    ``distance_fn(x, y)`` returns the signed/unsigned distance to the
+    feature.  Edges of triangles already at ``max_level`` are skipped so
+    refinement depth stays bounded.
+    """
+    if band <= 0:
+        raise ValueError(f"band must be positive, got {band}")
+    verts = mesh.verts_array()
+    marked: Set[EdgeKey] = set()
+    for e, tids in mesh.edges().items():
+        if all(mesh.level[t] >= max_level for t in tids):
+            continue
+        a, b = e
+        mx = (verts[a][0] + verts[b][0]) / 2.0
+        my = (verts[a][1] + verts[b][1]) / 2.0
+        if abs(distance_fn(mx, my)) <= band:
+            marked.add(e)
+    return marked

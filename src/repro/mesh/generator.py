@@ -1,0 +1,64 @@
+"""Mesh generators: structured triangulations and Delaunay point clouds."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mesh.mesh2d import TriMesh
+
+__all__ = ["structured_mesh", "delaunay_mesh"]
+
+
+def structured_mesh(nx: int, ny: Optional[int] = None, lx: float = 1.0, ly: float = 1.0) -> TriMesh:
+    """Uniform triangulation of ``[0, lx] x [0, ly]``: 2 triangles per cell.
+
+    ``nx`` × ``ny`` cells produce ``2*nx*ny`` triangles.  Diagonals alternate
+    per cell parity so the mesh has no global directional bias.
+    """
+    if ny is None:
+        ny = nx
+    if nx < 1 or ny < 1:
+        raise ValueError(f"need at least 1x1 cells, got {nx}x{ny}")
+    xs = np.linspace(0.0, lx, nx + 1)
+    ys = np.linspace(0.0, ly, ny + 1)
+    verts = np.array([(x, y) for y in ys for x in xs])
+
+    def vid(i: int, j: int) -> int:
+        return j * (nx + 1) + i
+
+    tris = []
+    for j in range(ny):
+        for i in range(nx):
+            v00, v10 = vid(i, j), vid(i + 1, j)
+            v01, v11 = vid(i, j + 1), vid(i + 1, j + 1)
+            if (i + j) % 2 == 0:
+                tris.append((v00, v10, v11))
+                tris.append((v00, v11, v01))
+            else:
+                tris.append((v00, v10, v01))
+                tris.append((v10, v11, v01))
+    return TriMesh(verts, tris)
+
+
+def delaunay_mesh(npoints: int, seed: int = 0, jitter: float = 0.35) -> TriMesh:
+    """Delaunay triangulation of a jittered grid in the unit square.
+
+    Points sit on a perturbed lattice (plus the exact corners), giving an
+    irregular but well-shaped mesh, deterministically from ``seed``.
+    """
+    if npoints < 4:
+        raise ValueError(f"need at least 4 points, got {npoints}")
+    from scipy.spatial import Delaunay
+
+    rng = np.random.default_rng(seed)
+    side = max(int(np.ceil(np.sqrt(npoints))), 2)
+    g = np.linspace(0.0, 1.0, side)
+    gx, gy = np.meshgrid(g, g)
+    pts = np.column_stack([gx.ravel(), gy.ravel()])
+    h = 1.0 / (side - 1)
+    interior = (pts[:, 0] > 0) & (pts[:, 0] < 1) & (pts[:, 1] > 0) & (pts[:, 1] < 1)
+    pts[interior] += rng.uniform(-jitter * h, jitter * h, size=(interior.sum(), 2))
+    tri = Delaunay(pts)
+    return TriMesh(pts, [tuple(s) for s in tri.simplices])

@@ -1,0 +1,55 @@
+"""Tetrahedral mesh generation: Kuhn subdivision of a structured box.
+
+Each unit cell splits into six tetrahedra around its main diagonal (the
+Kuhn/Freudenthal triangulation).  Because every cell uses the same
+diagonal direction, the triangulations of adjacent cells agree on the
+shared face — the resulting mesh is conforming.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Optional
+
+import numpy as np
+
+from repro.mesh.mesh3d import TetMesh
+
+__all__ = ["structured_tet_mesh"]
+
+
+def structured_tet_mesh(
+    nx: int, ny: Optional[int] = None, nz: Optional[int] = None
+) -> TetMesh:
+    """Kuhn triangulation of the unit cube: ``6 * nx * ny * nz`` tets."""
+    if ny is None:
+        ny = nx
+    if nz is None:
+        nz = nx
+    if min(nx, ny, nz) < 1:
+        raise ValueError(f"need at least 1x1x1 cells, got {nx}x{ny}x{nz}")
+    xs = np.linspace(0.0, 1.0, nx + 1)
+    ys = np.linspace(0.0, 1.0, ny + 1)
+    zs = np.linspace(0.0, 1.0, nz + 1)
+    verts = np.array([(x, y, z) for z in zs for y in ys for x in xs])
+
+    def vid(i: int, j: int, k: int) -> int:
+        return (k * (ny + 1) + j) * (nx + 1) + i
+
+    # the six Kuhn tets of the unit cell: paths from (0,0,0) to (1,1,1)
+    # through axis-order permutations
+    tets = []
+    for k in range(nz):
+        for j in range(ny):
+            for i in range(nx):
+                for order in permutations(range(3)):
+                    path = [(0, 0, 0)]
+                    cur = [0, 0, 0]
+                    for axis in order:
+                        cur = list(cur)
+                        cur[axis] += 1
+                        path.append(tuple(cur))
+                    tets.append(
+                        tuple(vid(i + p[0], j + p[1], k + p[2]) for p in path)
+                    )
+    return TetMesh(verts, tets)

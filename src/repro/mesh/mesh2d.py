@@ -1,0 +1,192 @@
+"""The triangular mesh data structure (edge-based, hierarchy-aware).
+
+Triangles are never deleted: refinement *kills* a parent and appends its
+children, recording the family so coarsening can revive the parent later.
+Midpoint vertices are memoised per undirected edge, which is what keeps
+refinement conforming — two triangles sharing a refined edge automatically
+share the midpoint vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["TriMesh", "edge_key"]
+
+EdgeKey = Tuple[int, int]
+
+
+def edge_key(a: int, b: int) -> EdgeKey:
+    """Canonical undirected edge key."""
+    return (a, b) if a < b else (b, a)
+
+
+class TriMesh:
+    """A 2-D triangular mesh supporting refinement and coarsening."""
+
+    def __init__(self, verts: np.ndarray, tris: Sequence[Tuple[int, int, int]]):
+        verts = np.asarray(verts, dtype=np.float64)
+        if verts.ndim != 2 or verts.shape[1] != 2:
+            raise ValueError(f"verts must be (nv, 2), got {verts.shape}")
+        self._verts: List[Tuple[float, float]] = [tuple(v) for v in verts]
+        self.tris: List[Tuple[int, int, int]] = []
+        self.alive: List[bool] = []
+        self.parent: List[int] = []
+        self.children: Dict[int, Tuple[int, ...]] = {}
+        self.level: List[int] = []
+        self.edge_midpoint: Dict[EdgeKey, int] = {}
+        #: parents refined with the 1:2 "green" pattern (dissolved each phase)
+        self.green: Set[int] = set()
+        for t in tris:
+            self.add_triangle(*t)
+        self._check_initial()
+
+    # -- construction -----------------------------------------------------------
+
+    def _check_initial(self) -> None:
+        nv = len(self._verts)
+        for t, tri in enumerate(self.tris):
+            if len(set(tri)) != 3:
+                raise ValueError(f"degenerate triangle {t}: {tri}")
+            if any(not 0 <= v < nv for v in tri):
+                raise ValueError(f"triangle {t} references missing vertex: {tri}")
+
+    def add_vertex(self, x: float, y: float) -> int:
+        self._verts.append((float(x), float(y)))
+        return len(self._verts) - 1
+
+    def add_triangle(self, v0: int, v1: int, v2: int, parent: int = -1) -> int:
+        tid = len(self.tris)
+        self.tris.append((v0, v1, v2))
+        self.alive.append(True)
+        self.parent.append(parent)
+        self.level.append(0 if parent < 0 else self.level[parent] + 1)
+        return tid
+
+    # -- basic queries ------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._verts)
+
+    @property
+    def num_triangles(self) -> int:
+        """Count of *alive* triangles."""
+        return sum(self.alive)
+
+    @property
+    def num_all_triangles(self) -> int:
+        return len(self.tris)
+
+    def vert(self, vid: int) -> Tuple[float, float]:
+        return self._verts[vid]
+
+    def verts_array(self) -> np.ndarray:
+        return np.asarray(self._verts, dtype=np.float64)
+
+    def alive_tris(self) -> List[int]:
+        return [t for t, a in enumerate(self.alive) if a]
+
+    def tri_verts(self, tid: int) -> Tuple[int, int, int]:
+        return self.tris[tid]
+
+    def tri_coords(self, tid: int) -> np.ndarray:
+        return np.asarray([self._verts[v] for v in self.tris[tid]])
+
+    def tri_edges(self, tid: int) -> Tuple[EdgeKey, EdgeKey, EdgeKey]:
+        a, b, c = self.tris[tid]
+        return (edge_key(a, b), edge_key(b, c), edge_key(c, a))
+
+    def edges(self) -> Dict[EdgeKey, List[int]]:
+        """Undirected edge -> alive triangles using it (1 boundary, 2 interior)."""
+        table: Dict[EdgeKey, List[int]] = {}
+        for tid in self.alive_tris():
+            for e in self.tri_edges(tid):
+                table.setdefault(e, []).append(tid)
+        return table
+
+    def boundary_edges(self) -> Set[EdgeKey]:
+        return {e for e, ts in self.edges().items() if len(ts) == 1}
+
+    def vertex_tri_incidence(self) -> Dict[int, List[int]]:
+        inc: Dict[int, List[int]] = {}
+        for tid in self.alive_tris():
+            for v in self.tris[tid]:
+                inc.setdefault(v, []).append(tid)
+        return inc
+
+    def vertex_adjacency(self) -> Dict[int, Set[int]]:
+        """vertex -> neighbouring vertices along alive edges."""
+        adj: Dict[int, Set[int]] = {}
+        for (a, b) in self.edges():
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set()).add(a)
+        return adj
+
+    # -- refinement support ----------------------------------------------------------
+
+    def midpoint(self, e: EdgeKey) -> int:
+        """Get-or-create the midpoint vertex of edge ``e`` (memoised)."""
+        vid = self.edge_midpoint.get(e)
+        if vid is None:
+            (x0, y0), (x1, y1) = self._verts[e[0]], self._verts[e[1]]
+            vid = self.add_vertex((x0 + x1) / 2.0, (y0 + y1) / 2.0)
+            self.edge_midpoint[e] = vid
+        return vid
+
+    def has_midpoint(self, e: EdgeKey) -> bool:
+        return e in self.edge_midpoint
+
+    def kill(self, tid: int) -> None:
+        if not self.alive[tid]:
+            raise ValueError(f"triangle {tid} already dead")
+        self.alive[tid] = False
+
+    def revive(self, tid: int) -> None:
+        if self.alive[tid]:
+            raise ValueError(f"triangle {tid} already alive")
+        self.alive[tid] = True
+
+    # -- integrity -----------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise if the alive mesh is non-conforming or degenerate.
+
+        Checks: every edge borders at most 2 alive triangles; every alive
+        triangle has positive area; no alive triangle references a
+        midpoint of one of its own (unrefined) edges — that would mean a
+        hanging node.
+        """
+        table = self.edges()
+        for e, ts in table.items():
+            if len(ts) > 2:
+                raise AssertionError(f"edge {e} shared by {len(ts)} triangles: {ts}")
+        verts = self.verts_array()
+        for tid in self.alive_tris():
+            a, b, c = self.tris[tid]
+            area = _signed_area(verts[a], verts[b], verts[c])
+            if abs(area) < 1e-14:
+                raise AssertionError(f"triangle {tid} degenerate (area {area})")
+        # hanging-node check: a midpoint vertex of an alive edge must not be
+        # used by any alive triangle unless the edge's sides were refined
+        used: Set[int] = set()
+        for tid in self.alive_tris():
+            used.update(self.tris[tid])
+        for e, ts in table.items():
+            mid = self.edge_midpoint.get(e)
+            if mid is not None and mid in used and ts:
+                raise AssertionError(
+                    f"hanging node: midpoint {mid} of alive edge {e} is in use"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TriMesh({self.num_vertices} verts, {self.num_triangles} alive tris, "
+            f"{self.num_all_triangles} total)"
+        )
+
+
+def _signed_area(p0, p1, p2) -> float:
+    return 0.5 * ((p1[0] - p0[0]) * (p2[1] - p0[1]) - (p2[0] - p0[0]) * (p1[1] - p0[1]))

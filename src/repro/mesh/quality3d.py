@@ -1,0 +1,69 @@
+"""Tetrahedral quality metrics: volumes and normalised aspect ratios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.mesh3d import TetMesh
+
+__all__ = ["tet_volumes", "tet_aspects", "TetQuality", "tet_quality"]
+
+# longest_edge^3 / volume of a regular tetrahedron (normalisation constant)
+_REGULAR_L3_OVER_V = 6.0 * np.sqrt(2.0)
+
+
+def tet_volumes(mesh: TetMesh) -> np.ndarray:
+    """Unsigned volumes of alive tets (in alive order)."""
+    verts = mesh.verts_array()
+    tets = np.asarray([mesh.tet_verts(t) for t in mesh.alive_tets()])
+    if len(tets) == 0:
+        return np.zeros(0)
+    p0 = verts[tets[:, 0]]
+    m = np.stack(
+        [verts[tets[:, 1]] - p0, verts[tets[:, 2]] - p0, verts[tets[:, 3]] - p0],
+        axis=1,
+    )
+    return np.abs(np.linalg.det(m)) / 6.0
+
+
+def tet_aspects(mesh: TetMesh) -> np.ndarray:
+    """Normalised aspect: (longest edge)^3 / (6*sqrt(2)*V); 1 = regular tet."""
+    verts = mesh.verts_array()
+    tets = np.asarray([mesh.tet_verts(t) for t in mesh.alive_tets()])
+    if len(tets) == 0:
+        return np.zeros(0)
+    vol = tet_volumes(mesh)
+    pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    longest2 = np.zeros(len(tets))
+    for i, j in pairs:
+        d = verts[tets[:, i]] - verts[tets[:, j]]
+        longest2 = np.maximum(longest2, np.einsum("ij,ij->i", d, d))
+    longest = np.sqrt(longest2)
+    return longest**3 / np.maximum(vol * _REGULAR_L3_OVER_V, 1e-300)
+
+
+@dataclass(frozen=True)
+class TetQuality:
+    n_tets: int
+    n_vertices: int
+    min_volume: float
+    total_volume: float
+    worst_aspect: float
+    mean_aspect: float
+
+
+def tet_quality(mesh: TetMesh) -> TetQuality:
+    vols = tet_volumes(mesh)
+    aspects = tet_aspects(mesh)
+    if len(vols) == 0:
+        return TetQuality(0, mesh.num_vertices, 0.0, 0.0, 0.0, 0.0)
+    return TetQuality(
+        n_tets=len(vols),
+        n_vertices=mesh.num_vertices,
+        min_volume=float(vols.min()),
+        total_volume=float(vols.sum()),
+        worst_aspect=float(aspects.max()),
+        mean_aspect=float(aspects.mean()),
+    )

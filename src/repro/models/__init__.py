@@ -1,0 +1,22 @@
+"""The three Origin2000 programming models, as simulated runtimes.
+
+* :mod:`repro.models.mpi`   — two-sided message passing (MPI-1 style)
+* :mod:`repro.models.shmem` — one-sided communication on a symmetric heap
+* :mod:`repro.models.sas`   — cache-coherent shared address space
+
+Each runtime exposes a *context* object handed to every rank's coroutine;
+application code is an ordinary generator using ``yield from`` on context
+primitives.  :func:`repro.models.registry.run_program` launches an SPMD
+program under any of the three models on a :class:`repro.machine.Machine`.
+"""
+
+from repro.models.base import BaseContext, ProgramResult
+from repro.models.registry import MODEL_NAMES, make_contexts, run_program
+
+__all__ = [
+    "BaseContext",
+    "ProgramResult",
+    "MODEL_NAMES",
+    "make_contexts",
+    "run_program",
+]

@@ -1,0 +1,105 @@
+"""The hybrid programming model: MPI between nodes, shared memory within.
+
+The Origin2000's node cards hold two CPUs over one memory, so a natural
+fourth model — and the follow-up literature's topic — is to share address
+space *within* a node and message-pass *between* nodes.  A
+:class:`HybridContext` therefore carries both a full
+:class:`~repro.models.mpi.context.MpiContext` and a full
+:class:`~repro.models.sas.context.SasContext` for its rank, plus the node
+geometry and helpers (node-scoped barriers, a node-leaders communicator).
+
+Experiment R-F6 compares hybrid Jacobi against the three pure models.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.machine.machine import Machine
+from repro.models.base import BaseContext
+from repro.models.mpi.context import MpiWorld
+from repro.models.sas.context import SasWorld
+
+__all__ = ["HybridWorld", "HybridContext"]
+
+
+class HybridWorld:
+    """One MPI world and one SAS world over the same machine."""
+
+    def __init__(self, machine: Machine, nprocs: int):
+        self.machine = machine
+        self.nprocs = nprocs
+        self.mpi_world = MpiWorld(machine, nprocs)
+        self.sas_world = SasWorld(machine, nprocs)
+
+    def contexts(self) -> List["HybridContext"]:
+        mpis = self.mpi_world.contexts()
+        sass = self.sas_world.contexts()
+        return [
+            HybridContext(self.machine, rank, self.nprocs, mpis[rank], sass[rank])
+            for rank in range(self.nprocs)
+        ]
+
+
+class HybridContext(BaseContext):
+    """Per-rank handle exposing ``.mpi`` and ``.sas`` plus node geometry."""
+
+    model_name = "hybrid"
+
+    def __init__(self, machine: Machine, rank: int, nprocs: int, mpi, sas):
+        super().__init__(machine, rank, nprocs)
+        self.mpi = mpi
+        self.sas = sas
+        cpn = machine.config.cpus_per_node
+        self.node_rank = rank % cpn
+        self.node_size = min(cpn, nprocs - self.node * cpn)
+        self.nnodes = -(-nprocs // cpn)
+        self.is_leader = self.node_rank == 0
+
+    # -- geometry ----------------------------------------------------------------
+
+    def node_members(self) -> List[int]:
+        cpn = self.machine.config.cpus_per_node
+        start = self.node * cpn
+        return list(range(start, min(start + cpn, self.nprocs)))
+
+    # -- node-scoped synchronisation ----------------------------------------------
+
+    def node_barrier(self) -> Generator:
+        """Barrier over this node's CPUs (shared-memory tree barrier)."""
+        yield from self.sas.barrier_group(("node", self.node), self.node_size)
+
+    def global_barrier(self) -> Generator:
+        """Hierarchical barrier: node fan-in, leader MPI barrier, fan-out."""
+        yield from self.node_barrier()
+        if self.is_leader and self._leaders is not None:
+            yield from self._leaders.barrier()
+        yield from self.node_barrier()
+
+    _leaders = None
+
+    def setup_leaders(self) -> Generator:
+        """Collective: build the node-leaders communicator (call once)."""
+        comm = yield from self.mpi.comm_split(
+            0 if self.is_leader else None, key=self.node
+        )
+        self._leaders = comm
+        return comm
+
+    @property
+    def leaders(self):
+        """The node-leaders communicator (None on non-leader ranks)."""
+        return self._leaders
+
+    # -- convenience delegations ----------------------------------------------------
+
+    def shalloc(self, *args, **kwargs):
+        return self.sas.shalloc(*args, **kwargs)
+
+    def stouch(self, *args, **kwargs) -> Generator:
+        yield from self.sas.stouch(*args, **kwargs)
+
+    def allreduce(self, value, op=None) -> Generator:
+        """World all-reduce (via MPI — every rank participates)."""
+        result = yield from self.mpi.allreduce(value, op)
+        return result

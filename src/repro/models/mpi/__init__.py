@@ -1,0 +1,17 @@
+"""Two-sided message passing (MPI-1 style) on the simulated Origin2000.
+
+Cost model (per message): sender software overhead ``mpi_os_ns`` + user-to-
+buffer copy at ``mpi_copy_bpns``; receiver overhead ``mpi_or_ns`` + copy;
+network occupancy along the route.  Messages larger than
+``mpi_eager_bytes`` use a rendezvous protocol (extra handshake, sender
+blocks until the receive is posted), as in SGI's MPI.
+
+API naming follows mpi4py's lower-case convention (``send``/``recv``/
+``isend``/``bcast``/...); payloads are real Python/NumPy objects so
+application results are checkable.
+"""
+
+from repro.models.mpi.context import ANY_SOURCE, ANY_TAG, MpiContext, MpiWorld
+from repro.models.mpi.requests import Request, Status
+
+__all__ = ["MpiContext", "MpiWorld", "Request", "Status", "ANY_SOURCE", "ANY_TAG"]

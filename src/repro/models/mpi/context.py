@@ -1,0 +1,336 @@
+"""MPI context: two-sided matching, eager/rendezvous protocols.
+
+Matching preserves MPI's non-overtaking rule: messages are enqueued at their
+destination in *send-initiation* order and receives scan that queue in
+order, so two messages from the same sender with matching tags can never be
+received out of order even if the simulated network reorders their arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.machine.machine import Machine
+from repro.models.base import BaseContext
+from repro.models.mpi.requests import Request, Status
+from repro.models.payload import nbytes_of
+from repro.sim.engine import Delay, Event, WaitEvent
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "MpiWorld", "MpiContext"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_COLL_TAG_BASE = 1 << 20
+
+
+class _Msg:
+    """In-flight message descriptor."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "tag",
+        "payload",
+        "nbytes",
+        "eager",
+        "arrived",
+        "matched",
+        "bound",
+    )
+
+    def __init__(self, src: int, dst: int, tag: int, payload: Any, nbytes: int, eager: bool):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.eager = eager
+        self.arrived = False          # payload physically at receiver
+        self.matched: Optional[Event] = None  # rendezvous: recv posted
+        self.bound: Optional[Event] = None    # recv completion to fire on arrival
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source == ANY_SOURCE or source == self.src) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+class _PendingRecv:
+    __slots__ = ("source", "tag", "completion")
+
+    def __init__(self, source: int, tag: int, completion: Event):
+        self.source = source
+        self.tag = tag
+        self.completion = completion
+
+
+class MpiWorld:
+    """Shared matching state for one MPI job (one per Machine run)."""
+
+    def __init__(self, machine: Machine, nprocs: int):
+        self.machine = machine
+        self.nprocs = nprocs
+        self.mailbox: List[List[_Msg]] = [[] for _ in range(nprocs)]
+        self.pending: List[List[_PendingRecv]] = [[] for _ in range(nprocs)]
+        self._comm_ids: dict = {}
+        self._next_comm_id = 0
+
+    def comm_id_for(self, split_seq: int, color) -> int:
+        """Stable unique id per (split call, color) across all ranks."""
+        key = (split_seq, color)
+        if key not in self._comm_ids:
+            self._comm_ids[key] = self._next_comm_id
+            self._next_comm_id += 1
+        return self._comm_ids[key]
+
+    def contexts(self) -> List["MpiContext"]:
+        return [MpiContext(self.machine, rank, self.nprocs, self) for rank in range(self.nprocs)]
+
+    # -- matching ------------------------------------------------------------
+
+    def post_message(self, msg: _Msg) -> None:
+        """Called at send-initiation; binds to an already-posted recv if any."""
+        queue = self.pending[msg.dst]
+        for i, recv in enumerate(queue):
+            if msg.matches(recv.source, recv.tag):
+                del queue[i]
+                self._bind(msg, recv.completion)
+                return
+        self.mailbox[msg.dst].append(msg)
+
+    def post_recv(self, dst: int, source: int, tag: int, completion: Event) -> None:
+        box = self.mailbox[dst]
+        for i, msg in enumerate(box):
+            if msg.matches(source, tag):
+                del box[i]
+                self._bind(msg, completion)
+                return
+        self.pending[dst].append(_PendingRecv(source, tag, completion))
+
+    @staticmethod
+    def _bind(msg: _Msg, completion: Event) -> None:
+        if msg.matched is not None and not msg.matched.fired:
+            msg.matched.fire()  # releases a blocked rendezvous sender
+        if msg.arrived:
+            completion.fire(msg)
+        else:
+            msg.bound = completion
+
+    @staticmethod
+    def deliver(msg: _Msg) -> None:
+        """Payload physically arrived at the receiver."""
+        msg.arrived = True
+        if msg.bound is not None:
+            msg.bound.fire(msg)
+
+
+class MpiContext(BaseContext):
+    """The per-rank MPI handle (mpi4py-flavoured lower-case API)."""
+
+    model_name = "mpi"
+
+    def __init__(self, machine: Machine, rank: int, nprocs: int, world: MpiWorld):
+        super().__init__(machine, rank, nprocs)
+        self.world = world
+        self.cfg = machine.config
+        self._coll_seq = 0
+        self._split_seq = 0
+        # pin this rank's buffers to its own node (MPI processes are
+        # single-node entities; all their memory is local)
+        base = machine.memory.alloc(machine.config.page_bytes, page_aligned=True)
+        machine.memory.place(base, machine.config.page_bytes, self.node)
+
+    # -- point to point ----------------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> Generator:
+        """Blocking send (buffered below the eager threshold)."""
+        req = yield from self.isend(payload, dest, tag, nbytes)
+        yield from req.wait()
+
+    def isend(self, payload: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> Generator:
+        """Nonblocking send; returns a :class:`Request`."""
+        if not 0 <= dest < self.nprocs:
+            raise ValueError(f"bad destination rank {dest}")
+        size = nbytes_of(payload) if nbytes is None else int(nbytes)
+        self.stats.msgs_sent += 1
+        self.stats.bytes_sent += size
+        yield from self.charged_delay("comm", self.cfg.mpi_os_ns)
+        eager = size <= self.cfg.mpi_eager_bytes
+        msg = _Msg(self.rank, dest, tag, payload, size, eager)
+        completion = self.machine.engine.event(name=f"send:{self.rank}->{dest}")
+        if eager:
+            self.world.post_message(msg)
+            # copy into a system buffer, hand off to the network, done
+            yield from self.charged_delay("comm", size / self.cfg.mpi_copy_bpns)
+            self.machine.engine.spawn(
+                self._eager_transfer(msg), name=f"mpi-xfer:{self.rank}->{dest}"
+            )
+            completion.fire()
+        else:
+            # the matched event must exist before the message becomes
+            # matchable, or a pre-posted receive would bind past it
+            msg.matched = self.machine.engine.event(name=f"rdv:{self.rank}->{dest}")
+            self.world.post_message(msg)
+            self.machine.engine.spawn(
+                self._rendezvous_transfer(msg, completion),
+                name=f"mpi-rdv:{self.rank}->{dest}",
+            )
+        return Request("send", completion, self)
+
+    def _eager_transfer(self, msg: _Msg) -> Generator:
+        yield from self.machine.network.transfer(
+            self.cfg.node_of_cpu(msg.src), self.cfg.node_of_cpu(msg.dst), msg.nbytes
+        )
+        MpiWorld.deliver(msg)
+
+    def _rendezvous_transfer(self, msg: _Msg, completion: Event) -> Generator:
+        yield WaitEvent(msg.matched)
+        yield Delay(self.cfg.mpi_rendezvous_ns)
+        yield from self.machine.network.transfer(
+            self.cfg.node_of_cpu(msg.src), self.cfg.node_of_cpu(msg.dst), msg.nbytes
+        )
+        MpiWorld.deliver(msg)
+        completion.fire()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Nonblocking receive; returns a :class:`Request`."""
+        yield from self.charged_delay("comm", self.cfg.mpi_or_ns)
+        completion = self.machine.engine.event(name=f"recv:{self.rank}")
+        self.world.post_recv(self.rank, source, tag, completion)
+        return Request("recv", completion, self)
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, status: Optional[Status] = None
+    ) -> Generator:
+        """Blocking receive; returns the payload."""
+        req = yield from self.irecv(source, tag)
+        payload = yield from req.wait()
+        if status is not None:
+            status.source = req.status.source
+            status.tag = req.status.tag
+            status.nbytes = req.status.nbytes
+        return payload
+
+    def _finish_recv(self, msg: _Msg, status: Status) -> Generator:
+        """Receiver-side copy out of the system buffer; fills the status."""
+        status.source = msg.src
+        status.tag = msg.tag
+        status.nbytes = msg.nbytes
+        yield from self.charged_delay("comm", msg.nbytes / self.cfg.mpi_copy_bpns)
+        return msg.payload
+
+    def sendrecv(
+        self,
+        payload: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        nbytes: Optional[int] = None,
+    ) -> Generator:
+        """Simultaneous send and receive (deadlock-free exchange)."""
+        rreq = yield from self.irecv(source, recvtag)
+        sreq = yield from self.isend(payload, dest, sendtag, nbytes)
+        results = yield from Request.waitall(self, [rreq, sreq])
+        return results[0]
+
+    def waitall(self, requests: List[Request]) -> Generator:
+        out = yield from Request.waitall(self, requests)
+        return out
+
+    def waitany(self, requests: List[Request]) -> Generator:
+        out = yield from Request.waitany(self, requests)
+        return out
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Nonblocking check for a matchable arrived message."""
+        return any(
+            m.matches(source, tag) and m.arrived for m in self.world.mailbox[self.rank]
+        )
+
+    # -- collectives (implemented in collectives.py) --------------------------------
+
+    def _next_coll_tag(self) -> int:
+        self._coll_seq += 1
+        return _COLL_TAG_BASE + self._coll_seq
+
+    def barrier(self) -> Generator:
+        from repro.models.mpi import collectives
+
+        yield from collectives.barrier(self)
+
+    def bcast(self, payload: Any, root: int = 0) -> Generator:
+        from repro.models.mpi import collectives
+
+        result = yield from collectives.bcast(self, payload, root)
+        return result
+
+    def reduce(self, value: Any, op=None, root: int = 0) -> Generator:
+        from repro.models.mpi import collectives
+
+        result = yield from collectives.reduce(self, value, op, root)
+        return result
+
+    def allreduce(self, value: Any, op=None) -> Generator:
+        from repro.models.mpi import collectives
+
+        result = yield from collectives.allreduce(self, value, op)
+        return result
+
+    def gather(self, value: Any, root: int = 0) -> Generator:
+        from repro.models.mpi import collectives
+
+        result = yield from collectives.gather(self, value, root)
+        return result
+
+    def allgather(self, value: Any) -> Generator:
+        from repro.models.mpi import collectives
+
+        result = yield from collectives.allgather(self, value)
+        return result
+
+    def scatter(self, values: Optional[List[Any]], root: int = 0) -> Generator:
+        from repro.models.mpi import collectives
+
+        result = yield from collectives.scatter(self, values, root)
+        return result
+
+    def alltoall(self, values: List[Any]) -> Generator:
+        from repro.models.mpi import collectives
+
+        result = yield from collectives.alltoall(self, values)
+        return result
+
+    def scan(self, value: Any, op=None) -> Generator:
+        from repro.models.mpi import collectives
+
+        result = yield from collectives.scan(self, value, op)
+        return result
+
+    def reduce_scatter(self, values: List[Any], op=None) -> Generator:
+        from repro.models.mpi import collectives
+
+        result = yield from collectives.reduce_scatter(self, values, op)
+        return result
+
+    # -- communicators --------------------------------------------------------------
+
+    def comm_split(self, color, key: int = 0) -> Generator:
+        """Collective split into sub-communicators (cf. ``MPI_Comm_split``).
+
+        Ranks sharing ``color`` form one group, ordered by ``(key, world
+        rank)``.  ``color=None`` opts out (returns None).  Must be called
+        by every rank.
+        """
+        from repro.models.mpi.comm import MpiComm
+
+        trio = yield from self.allgather((color, key, self.rank))
+        seq = self._split_seq
+        self._split_seq += 1
+        if color is None:
+            return None
+        members = [
+            r for (c, k, r) in sorted(trio, key=lambda t: (t[1], t[2])) if c == color
+        ]
+        return MpiComm(self, members, self.world.comm_id_for(seq, color))

@@ -1,0 +1,79 @@
+"""Nonblocking-communication request handles and receive status."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import AllOf, AnyOf, Event, WaitEvent
+
+__all__ = ["Request", "Status"]
+
+
+@dataclass
+class Status:
+    """Source/tag/size of a completed receive (cf. ``MPI_Status``)."""
+
+    source: int = -1
+    tag: int = -1
+    nbytes: int = 0
+
+
+class Request:
+    """Handle for an outstanding ``isend``/``irecv``.
+
+    ``yield from req.wait()`` blocks until completion and returns the
+    received payload (receives) or ``None`` (sends).  ``req.test()`` is a
+    non-blocking completion check.
+    """
+
+    def __init__(self, kind: str, completion: Event, context: "object"):
+        self.kind = kind  # "send" | "recv"
+        self._completion = completion
+        self._context = context
+        self.status = Status()
+
+    @property
+    def completed(self) -> bool:
+        return self._completion.fired
+
+    def test(self) -> bool:
+        return self._completion.fired
+
+    def wait(self) -> Generator:
+        """Block until complete; waiting time is charged as communication."""
+        ctx = self._context
+        t0 = ctx.now
+        value = yield WaitEvent(self._completion)
+        ctx._charge("comm", ctx.now - t0)
+        if self.kind == "recv":
+            payload = yield from ctx._finish_recv(value, self.status)
+            return payload
+        return None
+
+    @staticmethod
+    def waitall(context: "object", requests: list) -> Generator:
+        """Wait for every request; returns payloads (None for sends)."""
+        t0 = context.now
+        yield AllOf([r._completion for r in requests])
+        context._charge("comm", context.now - t0)
+        out = []
+        for r in requests:
+            if r.kind == "recv":
+                payload = yield from context._finish_recv(r._completion.value, r.status)
+                out.append(payload)
+            else:
+                out.append(None)
+        return out
+
+    @staticmethod
+    def waitany(context: "object", requests: list) -> Generator:
+        """Wait until one request completes; returns (index, payload)."""
+        t0 = context.now
+        idx, value = yield AnyOf([r._completion for r in requests])
+        context._charge("comm", context.now - t0)
+        req = requests[idx]
+        if req.kind == "recv":
+            payload = yield from context._finish_recv(value, req.status)
+            return idx, payload
+        return idx, None

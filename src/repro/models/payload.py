@@ -1,0 +1,43 @@
+"""Estimating the wire size of Python payloads.
+
+Messages carry real Python/NumPy objects (so the numerics are checkable);
+their simulated wire size comes from :func:`nbytes_of`.  Applications that
+send structured objects can always pass an explicit ``nbytes=`` to override
+the estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["nbytes_of"]
+
+_SCALAR_BYTES = 8
+_CONTAINER_OVERHEAD = 16
+
+
+def nbytes_of(payload: Any) -> int:
+    """Estimated bytes on the wire for ``payload``."""
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (bool, int, float, complex, np.generic)):
+        return _SCALAR_BYTES
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return _CONTAINER_OVERHEAD + sum(nbytes_of(item) for item in payload)
+    if isinstance(payload, dict):
+        return _CONTAINER_OVERHEAD + sum(
+            nbytes_of(k) + nbytes_of(v) for k, v in payload.items()
+        )
+    # dataclass-ish objects: walk their __dict__ once
+    attrs = getattr(payload, "__dict__", None)
+    if attrs is not None:
+        return _CONTAINER_OVERHEAD + sum(nbytes_of(v) for v in attrs.values())
+    return _SCALAR_BYTES

@@ -1,0 +1,81 @@
+"""Launching SPMD programs under any of the three programming models.
+
+``run_program(model, program, nprocs, ...)`` builds a machine, creates the
+model's per-rank contexts, spawns ``program(ctx, *args)`` as one coroutine
+per rank, runs the simulation to completion and returns a
+:class:`repro.models.base.ProgramResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.models.base import BaseContext, ProgramResult
+
+__all__ = ["MODEL_NAMES", "make_contexts", "run_program"]
+
+MODEL_NAMES = ("mpi", "shmem", "sas", "hybrid")
+
+
+def make_contexts(machine: Machine, model: str, nprocs: Optional[int] = None) -> List[BaseContext]:
+    """Create one context per rank for ``model`` on ``machine``."""
+    n = machine.nprocs if nprocs is None else nprocs
+    if model == "mpi":
+        from repro.models.mpi.context import MpiWorld
+
+        return MpiWorld(machine, n).contexts()
+    if model == "shmem":
+        from repro.models.shmem.context import ShmemWorld
+
+        return ShmemWorld(machine, n).contexts()
+    if model == "sas":
+        from repro.models.sas.context import SasWorld
+
+        return SasWorld(machine, n).contexts()
+    if model == "hybrid":
+        from repro.models.hybrid import HybridWorld
+
+        return HybridWorld(machine, n).contexts()
+    raise ValueError(f"unknown model {model!r}; choose from {MODEL_NAMES}")
+
+
+def run_program(
+    model: str,
+    program: Callable,
+    nprocs: int,
+    *args: Any,
+    config: Optional[MachineConfig] = None,
+    placement: str = "first-touch",
+    machine: Optional[Machine] = None,
+) -> ProgramResult:
+    """Run ``program(ctx, *args)`` on every rank under ``model``.
+
+    ``program`` must be a generator function taking the model context as its
+    first argument.  Extra ``args`` are passed through to every rank.
+    """
+    if machine is None:
+        cfg = config or MachineConfig(nprocs=nprocs)
+        if cfg.nprocs != nprocs:
+            cfg = cfg.with_(nprocs=nprocs)
+        machine = Machine(cfg, placement=placement)
+    elif machine.nprocs < nprocs:
+        raise ValueError(f"machine has {machine.nprocs} CPUs < nprocs={nprocs}")
+    contexts = make_contexts(machine, model, nprocs)
+    for rank, ctx in enumerate(contexts):
+        machine.spawn_rank(rank, program(ctx, *args))
+    elapsed = machine.run()
+    phase_ns: dict = {}
+    for ctx in contexts:
+        ctx.phase_end()
+        for name, ns in ctx.phase_ns.items():
+            phase_ns[name] = max(phase_ns.get(name, 0.0), ns)
+    return ProgramResult(
+        model=model,
+        nprocs=nprocs,
+        elapsed_ns=elapsed,
+        rank_results=machine.results(),
+        stats=machine.stats,
+        phase_ns=phase_ns,
+    )

@@ -1,0 +1,21 @@
+"""Cache-coherent shared address space (CC-SAS) on the simulated Origin2000.
+
+Under CC-SAS there is no explicit communication at all: ranks read and write
+shared arrays, and the *hardware* moves 128-byte cache lines around under
+the directory protocol.  The programming model is the easiest of the three
+(the paper's programming-effort argument); the performance questions are
+placement (whose node holds the page?), sharing (who else caches the
+line?), and synchronisation (locks and barriers built from the same memory
+operations).
+
+The simulation keeps one real NumPy array per shared allocation (it *is*
+shared memory); per-CPU cache models and the directory decide what every
+access costs, including invalidations, 3-hop dirty misses, and queueing at a
+hot home node.
+"""
+
+from repro.models.sas.context import SasContext, SasWorld
+from repro.models.sas.shared import SharedArray
+from repro.models.sas.parallel import WorkQueue, block_partition
+
+__all__ = ["SasContext", "SasWorld", "SharedArray", "WorkQueue", "block_partition"]

@@ -1,0 +1,68 @@
+"""Work distribution helpers for the shared-address-space model.
+
+``block_partition`` is the static owner-computes split every model uses;
+:class:`WorkQueue` is the SAS-specific *self-scheduling loop*: a shared
+"next chunk" counter that ranks advance with atomic fetch-and-add.  Under
+contention the counter's cache line ping-pongs between CPUs, and the
+directory model charges exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple
+
+import numpy as np
+
+from repro.models.sas.shared import SharedArray
+
+__all__ = ["block_partition", "WorkQueue"]
+
+
+def block_partition(total: int, nprocs: int, rank: int) -> Tuple[int, int]:
+    """Contiguous block ``[lo, hi)`` of ``total`` items for ``rank``.
+
+    Remainder items go to the lowest ranks, so sizes differ by at most 1.
+    """
+    if total < 0 or nprocs < 1 or not 0 <= rank < nprocs:
+        raise ValueError(f"bad partition args total={total} nprocs={nprocs} rank={rank}")
+    base, extra = divmod(total, nprocs)
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+class WorkQueue:
+    """Shared-counter dynamic scheduling (guided/self-scheduled loops).
+
+    All ranks construct it with the same ``name`` and ``total``; each then
+    loops ``chunk = yield from wq.next_chunk(ctx)`` until ``None``.
+    """
+
+    def __init__(self, ctx, name: str, total: int, chunk: int = 1):
+        if total < 0 or chunk < 1:
+            raise ValueError(f"bad WorkQueue args total={total} chunk={chunk}")
+        self.name = name
+        self.total = total
+        self.chunk = chunk
+        self.counter: SharedArray = ctx.shalloc(f"__wq:{name}", (8,), np.int64)
+
+    def next_chunk(self, ctx) -> Generator:
+        """Atomically claim the next ``[lo, hi)`` chunk; None when drained.
+
+        The fetch-and-add is a write transaction on the counter's line plus
+        the LL/SC cost — contended claims serialise at the line's home.
+        """
+        ns = ctx._touch_lines([self.counter.line_of(0)], write=True)
+        yield from ctx.charged_delay("sync", ns + ctx.cfg.lock_rmw_ns)
+        lo = int(self.counter.data[0])
+        if lo >= self.total:
+            return None
+        hi = min(lo + self.chunk, self.total)
+        self.counter.data[0] = hi
+        return lo, hi
+
+    def reset(self, ctx) -> Generator:
+        """Collective reset before reuse (call between phases, then barrier)."""
+        ns = ctx._touch_lines([self.counter.line_of(0)], write=True)
+        yield from ctx.charged_delay("sync", ns)
+        self.counter.data[0] = 0

@@ -1,0 +1,62 @@
+"""Shared allocations: one real NumPy array + a simulated address range."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.machine.machine import Machine
+
+__all__ = ["SharedArray"]
+
+
+class SharedArray:
+    """A shared-address-space allocation.
+
+    ``data`` is the single real array every rank sees (this *is* the shared
+    memory).  ``base`` is its simulated physical address; the memory
+    system's placement policy (or an explicit ``place=``) decides which node
+    homes each of its pages.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        machine: Machine,
+        shape: Tuple[int, ...],
+        dtype,
+        place: Optional[int] = None,
+    ):
+        self.name = name
+        self.machine = machine
+        self.data = np.zeros(shape, dtype=dtype)
+        self.itemsize = self.data.itemsize
+        self.nbytes = max(int(self.data.nbytes), 1)
+        self.base = machine.memory.alloc(self.nbytes, page_aligned=True)
+        if place is not None:
+            machine.memory.place(self.base, self.nbytes, place)
+        self._line_shift = machine.config.line_bytes.bit_length() - 1
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def line_range(self, lo: int, hi: int) -> range:
+        """Cache lines covering flat elements ``[lo, hi)``."""
+        if lo >= hi:
+            return range(0)
+        first = (self.base + lo * self.itemsize) >> self._line_shift
+        last = (self.base + hi * self.itemsize - 1) >> self._line_shift
+        return range(first, last + 1)
+
+    def line_of(self, index: int) -> int:
+        """Cache line holding flat element ``index``."""
+        return (self.base + index * self.itemsize) >> self._line_shift
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedArray({self.name!r}, shape={self.shape}, dtype={self.data.dtype})"

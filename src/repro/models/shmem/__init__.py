@@ -1,0 +1,17 @@
+"""One-sided communication (SGI SHMEM style) on the simulated Origin2000.
+
+SHMEM's defining property on the Origin2000 is that a ``put`` is little more
+than a remote store: no message matching, no receiver involvement, ~an order
+of magnitude lower software overhead than MPI (``shmem_op_ns`` vs
+``mpi_os_ns + mpi_or_ns``).  The price is explicit synchronisation: the
+program must ``quiet``/``fence`` and ``barrier_all`` to know when data is
+usable.
+
+Data lives on a *symmetric heap*: every rank owns an identically-shaped copy
+of each symmetric array, pinned to its own node's memory.
+"""
+
+from repro.models.shmem.context import ShmemContext, ShmemWorld
+from repro.models.shmem.symmetric import SymmetricArray
+
+__all__ = ["ShmemContext", "ShmemWorld", "SymmetricArray"]

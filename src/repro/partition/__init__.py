@@ -1,0 +1,33 @@
+"""Graph partitioning substrate (the repartitioner under PLUM).
+
+Three partitioners over the mesh dual graph, spanning the quality/speed
+spectrum of the era's tools:
+
+* :func:`repro.partition.rcb.rcb` — recursive coordinate bisection
+  (geometric, fastest, moderate cut),
+* :func:`repro.partition.spectral.spectral` — recursive spectral bisection
+  (Fiedler vectors, slow, good cut),
+* :func:`repro.partition.multilevel.multilevel` — heavy-edge-matching
+  multilevel with greedy growing + KL/FM boundary refinement (METIS-style,
+  best cut/speed trade-off — PLUM's default).
+"""
+
+from repro.partition.graph import Graph, mesh_dual_graph
+from repro.partition.metrics import edge_cut, imbalance, partition_summary
+from repro.partition.multilevel import multilevel
+from repro.partition.rcb import rcb
+from repro.partition.spectral import spectral
+
+PARTITIONERS = {"rcb": rcb, "spectral": spectral, "multilevel": multilevel}
+
+__all__ = [
+    "Graph",
+    "mesh_dual_graph",
+    "rcb",
+    "spectral",
+    "multilevel",
+    "edge_cut",
+    "imbalance",
+    "partition_summary",
+    "PARTITIONERS",
+]

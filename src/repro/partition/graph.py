@@ -1,0 +1,119 @@
+"""Weighted undirected graph in CSR form, built from the mesh dual."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mesh.mesh2d import TriMesh
+
+__all__ = ["Graph", "mesh_dual_graph"]
+
+
+class Graph:
+    """CSR graph with vertex weights, edge weights, and coordinates."""
+
+    def __init__(
+        self,
+        xadj: np.ndarray,
+        adjncy: np.ndarray,
+        vwgt: Optional[np.ndarray] = None,
+        ewgt: Optional[np.ndarray] = None,
+        coords: Optional[np.ndarray] = None,
+    ):
+        self.xadj = np.asarray(xadj, dtype=np.int64)
+        self.adjncy = np.asarray(adjncy, dtype=np.int64)
+        n = len(self.xadj) - 1
+        if n < 0:
+            raise ValueError("xadj must have at least one entry")
+        if self.xadj[0] != 0 or self.xadj[-1] != len(self.adjncy):
+            raise ValueError("inconsistent CSR structure")
+        if np.any(np.diff(self.xadj) < 0):
+            raise ValueError("xadj must be non-decreasing")
+        self.vwgt = (
+            np.ones(n, dtype=np.float64) if vwgt is None else np.asarray(vwgt, dtype=np.float64)
+        )
+        self.ewgt = (
+            np.ones(len(self.adjncy), dtype=np.float64)
+            if ewgt is None
+            else np.asarray(ewgt, dtype=np.float64)
+        )
+        if len(self.vwgt) != n or len(self.ewgt) != len(self.adjncy):
+            raise ValueError("weight arrays do not match graph size")
+        self.coords = coords if coords is None else np.asarray(coords, dtype=np.float64)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.xadj) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.adjncy) // 2
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        return self.ewgt[self.xadj[v] : self.xadj[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def total_weight(self) -> float:
+        return float(self.vwgt.sum())
+
+    def subgraph(self, vertices: np.ndarray) -> Tuple["Graph", np.ndarray]:
+        """Induced subgraph; returns (graph, original-ids of its vertices)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        remap = {int(v): i for i, v in enumerate(vertices)}
+        xadj = [0]
+        adjncy: List[int] = []
+        ewgt: List[float] = []
+        for v in vertices:
+            for u, w in zip(self.neighbors(v), self.neighbor_weights(v)):
+                j = remap.get(int(u))
+                if j is not None:
+                    adjncy.append(j)
+                    ewgt.append(float(w))
+            xadj.append(len(adjncy))
+        coords = None if self.coords is None else self.coords[vertices]
+        return (
+            Graph(np.asarray(xadj), np.asarray(adjncy), self.vwgt[vertices], np.asarray(ewgt), coords),
+            vertices,
+        )
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adj: Dict[int, List[int]],
+        vwgt: Optional[np.ndarray] = None,
+        coords: Optional[np.ndarray] = None,
+    ) -> "Graph":
+        """Build from a dict of sorted adjacency lists keyed 0..n-1."""
+        n = len(adj)
+        xadj = [0]
+        adjncy: List[int] = []
+        for v in range(n):
+            adjncy.extend(adj[v])
+            xadj.append(len(adjncy))
+        return cls(np.asarray(xadj), np.asarray(adjncy), vwgt=vwgt, coords=coords)
+
+
+def mesh_dual_graph(mesh: TriMesh, weights: Optional[Dict[int, float]] = None) -> Tuple[Graph, List[int]]:
+    """Dual graph of the alive mesh; returns (graph, tids in node order)."""
+    from repro.mesh.dual import dual_graph
+
+    tids, adj = dual_graph(mesh)
+    index = {t: i for i, t in enumerate(tids)}
+    verts = mesh.verts_array()
+    coords = np.zeros((len(tids), verts.shape[1]))
+    vwgt = np.ones(len(tids))
+    relabelled: Dict[int, List[int]] = {}
+    for i, t in enumerate(tids):
+        relabelled[i] = sorted(index[u] for u in adj[t])
+        tri = mesh.tri_verts(t)
+        coords[i] = verts[list(tri)].mean(axis=0)
+        if weights is not None:
+            vwgt[i] = weights.get(t, 1.0)
+    return Graph.from_adjacency(relabelled, vwgt=vwgt, coords=coords), tids

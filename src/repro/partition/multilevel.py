@@ -1,0 +1,259 @@
+"""Multilevel graph bisection (METIS-style): heavy-edge matching coarsening,
+greedy graph-growing initial partition, and KL/FM boundary refinement during
+uncoarsening.  K-way partitions come from recursive bisection with
+proportional weight targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.partition.graph import Graph
+
+__all__ = ["multilevel", "heavy_edge_matching", "coarsen_graph", "fm_refine"]
+
+_COARSEST = 48       # stop coarsening below this many vertices
+_MIN_SHRINK = 0.9    # or when a level shrinks less than this factor
+_FM_PASSES = 6
+_BALANCE_TOL = 1.04  # allowed part-weight overshoot during refinement
+
+
+def heavy_edge_matching(graph: Graph, seed: int = 0) -> np.ndarray:
+    """Match each vertex with its heaviest unmatched neighbour.
+
+    Returns ``match`` with ``match[v] == u`` (and ``match[u] == v``);
+    unmatched vertices map to themselves.  Visit order is randomised (but
+    seeded) to avoid systematic bias.
+    """
+    n = graph.num_vertices
+    match = np.full(n, -1, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    for v in rng.permutation(n):
+        if match[v] != -1:
+            continue
+        best, best_w = -1, -np.inf
+        for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+            if match[u] == -1 and u != v and w > best_w:
+                best, best_w = int(u), float(w)
+        if best >= 0:
+            match[v] = best
+            match[best] = v
+        else:
+            match[v] = v
+    return match
+
+
+def coarsen_graph(graph: Graph, match: np.ndarray) -> Tuple[Graph, np.ndarray]:
+    """Contract matched pairs; returns (coarse graph, fine->coarse map)."""
+    n = graph.num_vertices
+    cmap = np.full(n, -1, dtype=np.int64)
+    nc = 0
+    for v in range(n):
+        if cmap[v] != -1:
+            continue
+        u = match[v]
+        cmap[v] = nc
+        if u != v:
+            cmap[u] = nc
+        nc += 1
+    vwgt = np.zeros(nc)
+    np.add.at(vwgt, cmap, graph.vwgt)
+    coords = None
+    if graph.coords is not None:
+        coords = np.zeros((nc, graph.coords.shape[1]))
+        counts = np.zeros(nc)
+        np.add.at(coords, cmap, graph.coords)
+        np.add.at(counts, cmap, 1.0)
+        coords /= counts[:, None]
+    # accumulate coarse edges
+    edges = {}
+    for v in range(n):
+        cv = cmap[v]
+        for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+            cu = cmap[u]
+            if cu == cv:
+                continue
+            key = (cv, cu)
+            edges[key] = edges.get(key, 0.0) + float(w)
+    xadj = [0]
+    adjncy: List[int] = []
+    ewgt: List[float] = []
+    by_src: List[List[Tuple[int, float]]] = [[] for _ in range(nc)]
+    for (cv, cu), w in edges.items():
+        by_src[cv].append((cu, w))
+    for cv in range(nc):
+        for cu, w in sorted(by_src[cv]):
+            adjncy.append(cu)
+            ewgt.append(w)
+        xadj.append(len(adjncy))
+    coarse = Graph(np.asarray(xadj), np.asarray(adjncy), vwgt, np.asarray(ewgt), coords)
+    return coarse, cmap
+
+
+def _greedy_grow(graph: Graph, target: float, seed: int) -> np.ndarray:
+    """Initial bisection: BFS-grow part 0 from a boundary-ish vertex."""
+    n = graph.num_vertices
+    part = np.ones(n, dtype=np.int64)
+    if n == 0:
+        return part
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(n))
+    # pseudo-peripheral: walk to the farthest vertex from a random start
+    for _ in range(2):
+        dist = _bfs_dist(graph, start)
+        start = int(np.argmax(np.where(np.isfinite(dist), dist, -1)))
+    grown = 0.0
+    frontier = [start]
+    in_zero = np.zeros(n, dtype=bool)
+    while frontier and grown < target:
+        # pick the frontier vertex with max connection into part 0
+        v = frontier.pop(0)
+        if in_zero[v]:
+            continue
+        in_zero[v] = True
+        part[v] = 0
+        grown += graph.vwgt[v]
+        for u in graph.neighbors(v):
+            if not in_zero[u]:
+                frontier.append(int(u))
+    if grown < target:  # disconnected graph: top up with any vertices
+        for v in range(n):
+            if grown >= target:
+                break
+            if not in_zero[v]:
+                in_zero[v] = True
+                part[v] = 0
+                grown += graph.vwgt[v]
+    return part
+
+
+def _bfs_dist(graph: Graph, start: int) -> np.ndarray:
+    n = graph.num_vertices
+    dist = np.full(n, np.inf)
+    dist[start] = 0
+    queue = [start]
+    while queue:
+        v = queue.pop(0)
+        for u in graph.neighbors(v):
+            if not np.isfinite(dist[u]):
+                dist[u] = dist[v] + 1
+                queue.append(int(u))
+    return dist
+
+
+def fm_refine(
+    graph: Graph,
+    part: np.ndarray,
+    targets: Tuple[float, float],
+    passes: int = _FM_PASSES,
+) -> np.ndarray:
+    """Boundary KL/FM refinement of a bisection (in place, also returned).
+
+    Greedy gain passes: move the best-gain movable boundary vertex whose
+    move keeps both sides within ``_BALANCE_TOL`` of target, lock it, and
+    repeat; a pass with no accepted positive-or-balancing move ends the
+    refinement.
+    """
+    weights = np.zeros(2)
+    np.add.at(weights, part, graph.vwgt)
+    limits = (targets[0] * _BALANCE_TOL, targets[1] * _BALANCE_TOL)
+
+    for _ in range(passes):
+        locked = np.zeros(graph.num_vertices, dtype=bool)
+        improved = False
+        while True:
+            best_v, best_gain = -1, -np.inf
+            for v in range(graph.num_vertices):
+                if locked[v]:
+                    continue
+                pv = part[v]
+                ext = int_ = 0.0
+                for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+                    if part[u] == pv:
+                        int_ += w
+                    else:
+                        ext += w
+                if ext == 0.0 and int_ > 0.0:
+                    continue  # interior vertex
+                gain = ext - int_
+                dest = 1 - pv
+                if weights[dest] + graph.vwgt[v] > limits[dest]:
+                    continue
+                if gain > best_gain:
+                    best_v, best_gain = v, gain
+            if best_v < 0 or best_gain < 0:
+                break
+            if best_gain == 0 and weights[part[best_v]] <= targets[part[best_v]]:
+                break  # zero-gain move with nothing to rebalance
+            src = part[best_v]
+            part[best_v] = 1 - src
+            weights[src] -= graph.vwgt[best_v]
+            weights[1 - src] += graph.vwgt[best_v]
+            locked[best_v] = True
+            improved = True
+        if not improved:
+            break
+    return part
+
+
+def _multilevel_bisect(graph: Graph, target_frac: float, seed: int) -> np.ndarray:
+    """Bisect ``graph`` into parts of weight ≈ (target_frac, 1-target_frac)."""
+    total = graph.total_weight()
+    targets = (target_frac * total, (1 - target_frac) * total)
+
+    # coarsening ladder
+    levels: List[Tuple[Graph, Optional[np.ndarray]]] = [(graph, None)]
+    current = graph
+    while current.num_vertices > _COARSEST:
+        match = heavy_edge_matching(current, seed=seed + len(levels))
+        coarse, cmap = coarsen_graph(current, match)
+        if coarse.num_vertices >= _MIN_SHRINK * current.num_vertices:
+            break
+        levels.append((coarse, cmap))
+        current = coarse
+
+    # initial partition on the coarsest level
+    part = _greedy_grow(current, targets[0], seed)
+    part = fm_refine(current, part, targets)
+
+    # uncoarsen + refine
+    for (fine, cmap) in reversed(list(zip([lv[0] for lv in levels[:-1]], [lv[1] for lv in levels[1:]]))):
+        part = part[cmap]
+        part = fm_refine(fine, part, targets)
+    return part
+
+
+def multilevel(graph: Graph, nparts: int, seed: int = 0) -> np.ndarray:
+    """K-way partition by recursive multilevel bisection."""
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    part = np.zeros(graph.num_vertices, dtype=np.int64)
+    if nparts == 1 or graph.num_vertices == 0:
+        return part
+    _recurse(graph, np.arange(graph.num_vertices), 0, nparts, part, seed)
+    return part
+
+
+def _recurse(
+    root: Graph, ids: np.ndarray, first_part: int, nparts: int, out: np.ndarray, seed: int
+) -> None:
+    if nparts == 1 or len(ids) == 0:
+        out[ids] = first_part
+        return
+    left = nparts // 2
+    right = nparts - left
+    sub, orig = root.subgraph(ids)
+    bisection = _multilevel_bisect(sub, left / nparts, seed)
+    left_ids = orig[bisection == 0]
+    right_ids = orig[bisection == 1]
+    if len(left_ids) == 0 or len(right_ids) == 0:
+        # degenerate bisection (tiny graph): fall back to a weight split
+        order = orig
+        cum = np.cumsum(root.vwgt[order])
+        split = int(np.searchsorted(cum, (left / nparts) * cum[-1])) + 1
+        split = max(1, min(split, len(order) - 1))
+        left_ids, right_ids = order[:split], order[split:]
+    _recurse(root, left_ids, first_part, left, out, seed + 1)
+    _recurse(root, right_ids, first_part + left, right, out, seed + 2)

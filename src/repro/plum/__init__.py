@@ -1,0 +1,31 @@
+"""PLUM: the parallel load balancer for adaptive unstructured meshes
+(Oliker & Biswas; Biswas, Oliker & Sohn).
+
+After each mesh adaptation the element distribution is imbalanced.  PLUM
+
+1. decides *whether* to rebalance (imbalance threshold policy),
+2. repartitions the current dual graph (any partitioner from
+   :mod:`repro.partition`),
+3. **reassigns** the new partition labels to processors so as to minimise
+   the data that actually moves (similarity-matrix assignment — greedy
+   heuristic or optimal Hungarian), and
+4. reports the remap cost metrics the PLUM papers use: ``TotalV`` (total
+   moved weight), ``MaxV`` (the bottleneck processor's moved weight) and
+   ``MaxSR`` (the bottleneck processor's number of transfer partners).
+"""
+
+from repro.plum.balancer import PlumBalancer, RebalanceResult
+from repro.plum.cost import RemapCost, remap_cost
+from repro.plum.policy import ImbalancePolicy
+from repro.plum.remap import reassign_greedy, reassign_optimal, similarity_matrix
+
+__all__ = [
+    "PlumBalancer",
+    "RebalanceResult",
+    "RemapCost",
+    "remap_cost",
+    "ImbalancePolicy",
+    "similarity_matrix",
+    "reassign_greedy",
+    "reassign_optimal",
+]

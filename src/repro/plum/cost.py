@@ -1,0 +1,70 @@
+"""Remapping cost metrics: TotalV, MaxV, MaxSR (the PLUM trio)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RemapCost", "remap_cost"]
+
+
+@dataclass(frozen=True)
+class RemapCost:
+    """Cost of one remap.
+
+    * ``total_v`` — total element weight that changes processor,
+    * ``max_v``  — the bottleneck processor's moved weight
+      (``max_p max(sent_p, received_p)``: moves overlap across processors,
+      so the slowest one bounds the remap time),
+    * ``max_sr`` — the bottleneck processor's number of distinct transfer
+      partners (``max_p (send partners + receive partners)``): each partner
+      costs a message startup.
+    """
+
+    total_v: float
+    max_v: float
+    max_sr: int
+    moved_elements: int
+
+    def __str__(self) -> str:
+        return (
+            f"TotalV={self.total_v:.0f} MaxV={self.max_v:.0f} "
+            f"MaxSR={self.max_sr} moved={self.moved_elements}"
+        )
+
+
+def remap_cost(
+    current_owner: Sequence[int],
+    new_owner: Sequence[int],
+    weights: Sequence[float],
+    nparts: int,
+) -> RemapCost:
+    """Cost of moving elements from ``current_owner`` to ``new_owner``."""
+    current_owner = np.asarray(current_owner, dtype=np.int64)
+    new_owner = np.asarray(new_owner, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    moving = current_owner != new_owner
+    total_v = float(weights[moving].sum())
+
+    sent = np.zeros(nparts)
+    received = np.zeros(nparts)
+    np.add.at(sent, current_owner[moving], weights[moving])
+    np.add.at(received, new_owner[moving], weights[moving])
+
+    send_partners = [set() for _ in range(nparts)]
+    recv_partners = [set() for _ in range(nparts)]
+    for src, dst in zip(current_owner[moving], new_owner[moving]):
+        send_partners[src].add(int(dst))
+        recv_partners[dst].add(int(src))
+    max_sr = max(
+        (len(send_partners[p]) + len(recv_partners[p]) for p in range(nparts)),
+        default=0,
+    )
+    return RemapCost(
+        total_v=total_v,
+        max_v=float(np.maximum(sent, received).max()) if nparts else 0.0,
+        max_sr=max_sr,
+        moved_elements=int(moving.sum()),
+    )

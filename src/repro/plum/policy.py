@@ -1,0 +1,35 @@
+"""When to rebalance: PLUM's imbalance-threshold policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ImbalancePolicy"]
+
+
+@dataclass(frozen=True)
+class ImbalancePolicy:
+    """Rebalance when max/ideal load exceeds ``threshold``.
+
+    The PLUM papers use thresholds around 1.1–1.5: repartitioning is not
+    free (the remap moves data), so small imbalances are tolerated.
+    """
+
+    threshold: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1.0:
+            raise ValueError(f"threshold must be >= 1.0, got {self.threshold}")
+
+    @staticmethod
+    def imbalance(loads: Sequence[float]) -> float:
+        loads = np.asarray(loads, dtype=np.float64)
+        if len(loads) == 0 or loads.sum() == 0:
+            return 1.0
+        return float(loads.max() / (loads.sum() / len(loads)))
+
+    def should_rebalance(self, loads: Sequence[float]) -> bool:
+        return self.imbalance(loads) > self.threshold

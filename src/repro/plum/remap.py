@@ -1,0 +1,75 @@
+"""Processor reassignment: relabel new partitions to minimise data movement.
+
+A fresh partition's label ``q`` has no relation to the processor ``p`` that
+currently owns the elements — naively adopting it would move almost
+everything.  PLUM builds the *similarity matrix* ``S[p, q]`` = weight of
+elements currently on processor ``p`` that the new partition puts in part
+``q``, then assigns parts to processors to maximise the retained diagonal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["similarity_matrix", "reassign_greedy", "reassign_optimal", "apply_assignment"]
+
+
+def similarity_matrix(
+    current_owner: Sequence[int],
+    new_part: Sequence[int],
+    weights: Sequence[float],
+    nparts: int,
+) -> np.ndarray:
+    """``S[p, q]`` = total weight currently on ``p`` and newly labelled ``q``."""
+    current_owner = np.asarray(current_owner, dtype=np.int64)
+    new_part = np.asarray(new_part, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if not (len(current_owner) == len(new_part) == len(weights)):
+        raise ValueError("owner/part/weight arrays must have equal length")
+    S = np.zeros((nparts, nparts))
+    np.add.at(S, (current_owner, new_part), weights)
+    return S
+
+
+def reassign_greedy(S: np.ndarray) -> np.ndarray:
+    """PLUM's heuristic: repeatedly take the largest remaining entry.
+
+    Returns ``assign`` with ``assign[q] = p``: new part ``q`` goes to
+    processor ``p``.  O(P^2 log P) — what PLUM ran at scale.
+    """
+    nparts = S.shape[0]
+    order = np.argsort(S, axis=None)[::-1]
+    assign = np.full(nparts, -1, dtype=np.int64)
+    used_p = np.zeros(nparts, dtype=bool)
+    done = 0
+    for flat in order:
+        p, q = divmod(int(flat), nparts)
+        if used_p[p] or assign[q] != -1:
+            continue
+        assign[q] = p
+        used_p[p] = True
+        done += 1
+        if done == nparts:
+            break
+    for q in range(nparts):  # any leftovers (all-zero rows/cols)
+        if assign[q] == -1:
+            assign[q] = int(np.flatnonzero(~used_p)[0])
+            used_p[assign[q]] = True
+    return assign
+
+
+def reassign_optimal(S: np.ndarray) -> np.ndarray:
+    """Optimal assignment (Hungarian method on -S)."""
+    from scipy.optimize import linear_sum_assignment
+
+    rows, cols = linear_sum_assignment(-S)
+    assign = np.empty(S.shape[0], dtype=np.int64)
+    assign[cols] = rows
+    return assign
+
+
+def apply_assignment(new_part: Sequence[int], assign: np.ndarray) -> np.ndarray:
+    """Relabel a partition vector through ``assign`` (part -> processor)."""
+    return assign[np.asarray(new_part, dtype=np.int64)]

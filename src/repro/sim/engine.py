@@ -1,0 +1,327 @@
+"""Deterministic discrete-event engine with coroutine processes.
+
+The engine keeps a binary heap of ``(time, seq, thunk)`` entries.  ``seq`` is
+a monotonically increasing tie-breaker so that events scheduled for the same
+virtual time fire in FIFO order, which makes every simulation run exactly
+reproducible.
+
+A *process* is a generator.  It communicates with the engine by yielding
+request objects:
+
+``Delay(ns)``
+    Suspend for ``ns`` simulated nanoseconds.
+``WaitEvent(event)`` (or the :class:`Event` itself)
+    Suspend until ``event.fire(value)``; the yield expression evaluates to
+    ``value``.
+``AllOf(events)``
+    Suspend until every event has fired; evaluates to the list of values.
+``AnyOf(events)``
+    Suspend until at least one event has fired; evaluates to
+    ``(index, value)`` of the first event (in list order) that fired.
+
+Processes may also yield *sub-generators* indirectly via ``yield from``,
+which is the idiom every runtime primitive in :mod:`repro.models` uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimError",
+    "Deadlock",
+    "Delay",
+    "Event",
+    "WaitEvent",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Engine",
+]
+
+
+class SimError(Exception):
+    """Base class for simulation-kernel errors."""
+
+
+class Deadlock(SimError):
+    """Raised when the event queue drains while processes are still blocked."""
+
+
+class Delay:
+    """Request: resume the yielding process after ``ns`` simulated ns."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: float):
+        if ns < 0:
+            raise ValueError(f"negative delay: {ns}")
+        self.ns = float(ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay({self.ns})"
+
+
+class Event:
+    """One-shot signal carrying a value.
+
+    Any number of processes may wait on an event; when it fires they are all
+    resumed at the current virtual time (in the order they began waiting).
+    Firing twice is an error unless the event was created with
+    ``reusable=True``, in which case each :meth:`fire` wakes the *current*
+    waiters and re-arms.
+    """
+
+    __slots__ = ("engine", "name", "fired", "value", "_waiters", "reusable")
+
+    def __init__(self, engine: "Engine", name: str = "", reusable: bool = False):
+        self.engine = engine
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Process] = []
+        self.reusable = reusable
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired and not self.reusable:
+            raise SimError(f"event {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.engine._schedule(0.0, proc, value)
+        if self.reusable:
+            self.fired = False
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.name!r}, fired={self.fired})"
+
+
+class WaitEvent:
+    """Request: suspend until ``event`` fires; evaluates to its value."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        self.event = event
+
+
+class AllOf:
+    """Request: suspend until *all* events fire; evaluates to their values."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+
+
+class AnyOf:
+    """Request: suspend until *any* event fires; evaluates to (index, value)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+
+
+class Process:
+    """A running coroutine inside the engine."""
+
+    __slots__ = (
+        "engine",
+        "gen",
+        "pid",
+        "name",
+        "finished",
+        "result",
+        "end_event",
+        "_blocked_on",
+    )
+
+    def __init__(self, engine: "Engine", gen: Generator, pid: int, name: str):
+        self.engine = engine
+        self.gen = gen
+        self.pid = pid
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        #: fires (with the process return value) when the generator returns
+        self.end_event = Event(engine, name=f"end:{name}")
+        self._blocked_on: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else (self._blocked_on or "ready")
+        return f"Process({self.name!r}, {state})"
+
+
+class Engine:
+    """Deterministic event-driven simulator.
+
+    Typical use::
+
+        eng = Engine()
+        def program():
+            yield Delay(10)
+            return 42
+        proc = eng.spawn(program(), name="p0")
+        eng.run()
+        assert eng.now == 10 and proc.result == 42
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._procs: List[Process] = []
+        self._live: int = 0
+        self._error: Optional[BaseException] = None
+        self._trace_hook: Optional[Callable[[float, Process, Any], None]] = None
+
+    # -- process management -------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process, to start at the current time."""
+        if not hasattr(gen, "send"):
+            raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
+        proc = Process(self, gen, pid=len(self._procs), name=name or f"proc{len(self._procs)}")
+        self._procs.append(proc)
+        self._live += 1
+        self._schedule(0.0, proc, None)
+        return proc
+
+    def event(self, name: str = "", reusable: bool = False) -> Event:
+        """Create a fresh event bound to this engine."""
+        return Event(self, name=name, reusable=reusable)
+
+    # -- scheduling core ----------------------------------------------------
+
+    def _schedule(self, delay: float, proc: Process, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, proc, value))
+
+    def _step(self, proc: Process, value: Any) -> None:
+        if proc.finished:
+            raise SimError(f"resuming finished process {proc.name!r}")
+        proc._blocked_on = None
+        try:
+            request = proc.gen.send(value)
+        except StopIteration as stop:
+            proc.finished = True
+            proc.result = stop.value
+            self._live -= 1
+            proc.end_event.fire(stop.value)
+            return
+        except BaseException as exc:
+            proc.finished = True
+            self._live -= 1
+            self._error = exc
+            raise
+        self._dispatch(proc, request)
+
+    def _dispatch(self, proc: Process, request: Any) -> None:
+        if self._trace_hook is not None:
+            self._trace_hook(self.now, proc, request)
+        if isinstance(request, Delay):
+            proc._blocked_on = "delay"
+            self._schedule(request.ns, proc, None)
+        elif isinstance(request, Event):
+            self._wait_event(proc, request)
+        elif isinstance(request, WaitEvent):
+            self._wait_event(proc, request.event)
+        elif isinstance(request, AllOf):
+            self._wait_all(proc, request.events)
+        elif isinstance(request, AnyOf):
+            self._wait_any(proc, request.events)
+        else:
+            raise SimError(
+                f"process {proc.name!r} yielded unsupported request {request!r}; "
+                "did you forget 'yield from' on a runtime primitive?"
+            )
+
+    def _wait_event(self, proc: Process, event: Event) -> None:
+        if event.fired:
+            self._schedule(0.0, proc, event.value)
+        else:
+            proc._blocked_on = f"event:{event.name}"
+            event._add_waiter(proc)
+
+    def _wait_all(self, proc: Process, events: List[Event]) -> None:
+        pending = [ev for ev in events if not ev.fired]
+        if not pending:
+            self._schedule(0.0, proc, [ev.value for ev in events])
+            return
+
+        def waiter() -> Generator:
+            for ev in events:
+                if not ev.fired:
+                    yield WaitEvent(ev)
+            return [ev.value for ev in events]
+
+        self._chain(proc, waiter(), label="all-of")
+
+    def _wait_any(self, proc: Process, events: List[Event]) -> None:
+        for idx, ev in enumerate(events):
+            if ev.fired:
+                self._schedule(0.0, proc, (idx, ev.value))
+                return
+        token = {"done": False}
+        proc._blocked_on = "any-of"
+
+        relay = self.event(name="any-of")
+        for idx, ev in enumerate(events):
+            self._spawn_internal(self._any_watcher(ev, idx, token, relay))
+        self._wait_event(proc, relay)
+
+    def _any_watcher(self, ev: Event, idx: int, token: dict, relay: Event) -> Generator:
+        value = yield WaitEvent(ev)
+        if not token["done"]:
+            token["done"] = True
+            relay.fire((idx, value))
+
+    def _chain(self, proc: Process, gen: Generator, label: str) -> None:
+        """Run ``gen`` as a helper; resume ``proc`` with its return value."""
+        helper = self._spawn_internal(gen, name=f"{label}:{proc.name}")
+        proc._blocked_on = label
+        helper.end_event._add_waiter(proc)
+
+    def _spawn_internal(self, gen: Generator, name: str = "_helper") -> Process:
+        proc = Process(self, gen, pid=len(self._procs), name=name)
+        self._procs.append(proc)
+        # helpers do not count toward _live: they only exist while a real
+        # process is blocked on them, so they can never be the last runnable
+        # entity in a non-deadlocked simulation.
+        self._live += 1
+        self._schedule(0.0, proc, None)
+        return proc
+
+    # -- run loop -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or virtual time passes ``until``).
+
+        Returns the final virtual time.  Raises :class:`Deadlock` if
+        non-finished processes remain but no event can ever wake them.
+        """
+        while self._heap:
+            time, _seq, proc, value = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            self._step(proc, value)
+        if self._live > 0:
+            blocked = [p for p in self._procs if not p.finished]
+            names = ", ".join(f"{p.name}({p._blocked_on})" for p in blocked[:12])
+            raise Deadlock(f"{len(blocked)} process(es) blocked forever: {names}")
+        return self.now
+
+    def set_trace_hook(self, hook: Optional[Callable[[float, Process, Any], None]]) -> None:
+        """Install a callback invoked on every dispatch (for debugging)."""
+        self._trace_hook = hook

@@ -1,0 +1,49 @@
+"""Lightweight event tracing for debugging and for the harness's timelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence: what happened, where, and when."""
+
+    time_ns: float
+    actor: str
+    kind: str
+    detail: Any = None
+
+
+@dataclass
+class Tracer:
+    """Append-only trace buffer shared by runtime components.
+
+    Tracing is off by default (``enabled=False``) so the hot path pays only a
+    single attribute check.
+    """
+
+    enabled: bool = False
+    records: List[TraceRecord] = field(default_factory=list)
+    limit: Optional[int] = None
+
+    def emit(self, time_ns: float, actor: str, kind: str, detail: Any = None) -> None:
+        if not self.enabled:
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            return
+        self.records.append(TraceRecord(time_ns, actor, kind, detail))
+
+    def filter(self, kind: Optional[str] = None, actor: Optional[str] = None) -> List[TraceRecord]:
+        out = self.records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if actor is not None:
+            out = [r for r in out if r.actor == actor]
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,10 @@
+"""Numerical kernels: the per-iteration compute of the applications."""
+
+from repro.solver.kernels import (
+    jacobi_sweep,
+    residual_norm,
+    vertex_csr,
+    interpolate_new_vertices,
+)
+
+__all__ = ["vertex_csr", "jacobi_sweep", "residual_norm", "interpolate_new_vertices"]

@@ -1,0 +1,14 @@
+"""Synthetic workload generators.
+
+The paper's applications ran on real CFD and astrophysics inputs we do not
+have; these generators produce the closest synthetic equivalents that
+exercise identical code paths: a moving shock front that drags a refinement
+cascade across the mesh, and a Plummer-model star cluster whose central
+condensation produces the deep, imbalanced Barnes–Hut trees that make
+N-body adaptive.
+"""
+
+from repro.workloads.shock import MovingShock
+from repro.workloads.plummer import plummer_bodies
+
+__all__ = ["MovingShock", "plummer_bodies"]

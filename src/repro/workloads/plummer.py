@@ -1,0 +1,51 @@
+"""Plummer-model initial conditions for the N-body application.
+
+The Plummer sphere (here its 2-D analogue) is the standard Barnes–Hut test
+distribution: strongly centrally condensed, so the quadtree is deep and
+irregular near the core — exactly the adaptivity the paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["plummer_bodies", "uniform_bodies"]
+
+
+def plummer_bodies(
+    n: int, seed: int = 0, scale: float = 0.15, clip: float = 3.0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Positions (n,2), velocities (n,2), masses (n,) of a Plummer cluster.
+
+    Positions are centred at (0.5, 0.5) and clipped to ``clip`` scale radii
+    so everything fits in a bounded quadtree root.  Deterministic in
+    ``seed``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least 1 body, got {n}")
+    rng = np.random.default_rng(seed)
+    # radius from the 2-D Plummer cumulative mass profile
+    u = rng.uniform(0.0, 1.0, n)
+    r = scale * np.sqrt(u) / np.sqrt(np.maximum(1.0 - u, 1e-12))
+    r = np.minimum(r, clip * scale)
+    theta = rng.uniform(0.0, 2.0 * np.pi, n)
+    pos = 0.5 + np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+    pos = np.clip(pos, 0.01, 0.99)  # keep everything inside the unit root cell
+    # small isotropic velocity dispersion (not dynamically exact; the
+    # benchmark measures tree construction/walk cost, not orbit fidelity)
+    vel = rng.normal(0.0, 0.02, (n, 2))
+    mass = np.full(n, 1.0 / n)
+    return pos, vel, mass
+
+
+def uniform_bodies(n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Uniformly scattered bodies (the balanced control case)."""
+    if n < 1:
+        raise ValueError(f"need at least 1 body, got {n}")
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0.05, 0.95, (n, 2))
+    vel = rng.normal(0.0, 0.02, (n, 2))
+    mass = np.full(n, 1.0 / n)
+    return pos, vel, mass

@@ -1,0 +1,98 @@
+"""3-D workloads: a planar shock sweeping the unit cube and an expanding
+spherical blast, driving the tetrahedral adaptation engine."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Set
+
+import numpy as np
+
+from repro.mesh.mesh3d import EdgeKey, TetMesh
+
+__all__ = ["MovingShock3D", "SphericalBlast"]
+
+
+@dataclass(frozen=True)
+class MovingShock3D:
+    """A planar front ``x = x0 + speed * phase`` through the unit cube."""
+
+    x0: float = 0.15
+    speed: float = 0.12
+    band: float = 0.06
+    coarsen_distance: float = 0.18
+    max_level: int = 2
+    thickness: float = 0.05
+
+    def front(self, phase: int) -> float:
+        return self.x0 + self.speed * phase
+
+    def field(self, phase: int, coords: np.ndarray) -> np.ndarray:
+        """The solution profile the solver relaxes toward (step at front)."""
+        coords = np.atleast_2d(coords)
+        return np.tanh((coords[:, 0] - self.front(phase)) / self.thickness)
+
+    def marks(self, mesh: TetMesh, phase: int) -> Set[EdgeKey]:
+        front = self.front(phase)
+        verts = mesh.verts_array()
+        out: Set[EdgeKey] = set()
+        for e, tets in mesh.edges().items():
+            if all(mesh.level[t] >= self.max_level for t in tets):
+                continue
+            mx = (verts[e[0]][0] + verts[e[1]][0]) / 2.0
+            if abs(mx - front) <= self.band:
+                out.add(e)
+        return out
+
+    def coarsen_candidates(self, mesh: TetMesh, phase: int) -> Set[int]:
+        front = self.front(phase)
+        verts = mesh.verts_array()
+        out: Set[int] = set()
+        for tid in mesh.alive_tets():
+            cx = verts[list(mesh.tet_verts(tid))][:, 0].mean()
+            if abs(cx - front) > self.coarsen_distance:
+                out.add(tid)
+        return out
+
+
+@dataclass(frozen=True)
+class SphericalBlast:
+    """An expanding spherical front ``r = r0 + speed * phase``."""
+
+    r0: float = 0.12
+    speed: float = 0.1
+    band: float = 0.06
+    coarsen_distance: float = 0.2
+    max_level: int = 2
+    cx: float = 0.5
+    cy: float = 0.5
+    cz: float = 0.5
+
+    def radius(self, phase: int) -> float:
+        return self.r0 + self.speed * phase
+
+    def _dist(self, p) -> float:
+        return math.dist(p, (self.cx, self.cy, self.cz))
+
+    def marks(self, mesh: TetMesh, phase: int) -> Set[EdgeKey]:
+        R = self.radius(phase)
+        verts = mesh.verts_array()
+        out: Set[EdgeKey] = set()
+        for e, tets in mesh.edges().items():
+            if all(mesh.level[t] >= self.max_level for t in tets):
+                continue
+            mid = (verts[e[0]] + verts[e[1]]) / 2.0
+            if abs(self._dist(mid) - R) <= self.band:
+                out.add(e)
+        return out
+
+    def coarsen_candidates(self, mesh: TetMesh, phase: int) -> Set[int]:
+        R = self.radius(phase)
+        verts = mesh.verts_array()
+        out: Set[int] = set()
+        for tid in mesh.alive_tets():
+            ctr = verts[list(mesh.tet_verts(tid))].mean(axis=0)
+            if abs(self._dist(ctr) - R) > self.coarsen_distance:
+                out.add(tid)
+        return out

@@ -1,0 +1,183 @@
+"""Tests for MPI communicators (comm_split) and the hybrid model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import JacobiConfig, reference_checksum
+from repro.apps.jacobi.hybrid_app import jacobi_hybrid
+from repro.models.registry import run_program
+
+
+class TestCommSplit:
+    def test_groups_by_color(self):
+        def program(ctx):
+            comm = yield from ctx.comm_split(ctx.rank % 2)
+            return (comm.rank, comm.nprocs, comm.members)
+
+        res = run_program("mpi", program, 6)
+        for r, (lr, n, members) in enumerate(res.rank_results):
+            assert n == 3
+            assert members == tuple(range(r % 2, 6, 2))
+            assert members[lr] == r
+
+    def test_key_orders_group(self):
+        def program(ctx):
+            comm = yield from ctx.comm_split(0, key=-ctx.rank)
+            return comm.rank
+
+        res = run_program("mpi", program, 4)
+        assert res.rank_results == [3, 2, 1, 0]  # reversed order
+
+    def test_color_none_opts_out(self):
+        def program(ctx):
+            comm = yield from ctx.comm_split(0 if ctx.rank < 2 else None)
+            if ctx.rank < 2:
+                total = yield from comm.allreduce(1)
+                return total
+            assert comm is None
+            return -1
+
+        res = run_program("mpi", program, 4)
+        assert res.rank_results == [2, 2, -1, -1]
+
+    def test_group_point_to_point_local_ranks(self):
+        def program(ctx):
+            comm = yield from ctx.comm_split(ctx.rank // 2)
+            # exchange within the pair using local ranks 0/1
+            got = yield from comm.sendrecv(ctx.rank, 1 - comm.rank, 1 - comm.rank)
+            return got
+
+        res = run_program("mpi", program, 6)
+        assert res.rank_results == [1, 0, 3, 2, 5, 4]
+
+    def test_group_collectives(self):
+        def program(ctx):
+            comm = yield from ctx.comm_split(ctx.rank % 2)
+            s = yield from comm.allreduce(ctx.rank)
+            g = yield from comm.allgather(ctx.rank)
+            b = yield from comm.bcast(ctx.rank if comm.rank == 0 else None, root=0)
+            yield from comm.barrier()
+            return (s, g, b)
+
+        res = run_program("mpi", program, 8)
+        for r, (s, g, b) in enumerate(res.rank_results):
+            group = list(range(r % 2, 8, 2))
+            assert s == sum(group)
+            assert g == group
+            assert b == group[0]
+
+    def test_traffic_isolated_between_communicators(self):
+        """Same user tag on two communicators must not cross-match."""
+
+        def program(ctx):
+            comm = yield from ctx.comm_split(ctx.rank % 2)
+            # every group does a ring with the SAME tag concurrently
+            got = yield from comm.sendrecv(
+                ("grp", ctx.rank), (comm.rank + 1) % comm.nprocs,
+                (comm.rank - 1) % comm.nprocs, sendtag=7, recvtag=7,
+            )
+            return got
+
+        res = run_program("mpi", program, 8)
+        for r, (label, src) in enumerate(res.rank_results):
+            assert label == "grp"
+            assert src % 2 == r % 2  # never received from the other group
+
+    def test_tag_out_of_range_rejected(self):
+        def program(ctx):
+            comm = yield from ctx.comm_split(0)
+            yield from comm.send(1, 0, tag=1 << 21)
+
+        with pytest.raises(ValueError, match="tags"):
+            run_program("mpi", program, 2)
+
+    def test_nested_splits_get_distinct_ids(self):
+        def program(ctx):
+            a = yield from ctx.comm_split(0)
+            b = yield from ctx.comm_split(0)
+            return (a.comm_id, b.comm_id)
+
+        res = run_program("mpi", program, 2)
+        ids = res.rank_results[0]
+        assert ids[0] != ids[1]
+        assert all(r == ids for r in res.rank_results)
+
+
+class TestHybridModel:
+    def test_geometry(self):
+        def program(ctx):
+            yield from ctx.compute(0)
+            return (ctx.node, ctx.node_rank, ctx.node_size, ctx.is_leader, ctx.nnodes)
+
+        res = run_program("hybrid", program, 6)
+        assert res.rank_results[0] == (0, 0, 2, True, 3)
+        assert res.rank_results[1] == (0, 1, 2, False, 3)
+        assert res.rank_results[5] == (2, 1, 2, False, 3)
+
+    def test_odd_rank_count_partial_node(self):
+        def program(ctx):
+            yield from ctx.compute(0)
+            return (ctx.node, ctx.node_size)
+
+        res = run_program("hybrid", program, 5)
+        assert res.rank_results[4] == (2, 1)  # the last node has one CPU
+
+    def test_leaders_comm(self):
+        def program(ctx):
+            leaders = yield from ctx.setup_leaders()
+            if ctx.is_leader:
+                total = yield from leaders.allreduce(ctx.node)
+                return total
+            return None
+
+        res = run_program("hybrid", program, 8)
+        assert [r for r in res.rank_results if r is not None] == [6, 6, 6, 6]
+
+    def test_node_barrier_scopes_to_node(self):
+        def program(ctx):
+            # node 0 computes long; node 1 short — node barriers must not
+            # couple the two nodes
+            yield from ctx.compute(10_000.0 if ctx.node == 0 else 10.0)
+            yield from ctx.node_barrier()
+            return ctx.now
+
+        res = run_program("hybrid", program, 4)
+        assert max(res.rank_results[2:]) < 5_000.0  # node 1 finished early
+
+    def test_global_barrier_couples_everyone(self):
+        def program(ctx):
+            yield from ctx.setup_leaders()
+            yield from ctx.compute(1000.0 * ctx.rank)
+            yield from ctx.global_barrier()
+            return ctx.now
+
+        res = run_program("hybrid", program, 6)
+        assert all(t >= 5000.0 for t in res.rank_results)
+
+    @pytest.mark.parametrize("n", (1, 2, 3, 4, 6, 8))
+    def test_hybrid_jacobi_matches_reference(self, n):
+        cfg = JacobiConfig(nx=32, ny=32, iters=5)
+        ref = reference_checksum(cfg)
+        res = run_program("hybrid", jacobi_hybrid, n, cfg)
+        for rank in range(n):
+            assert res.rank_results[rank] == pytest.approx(ref, abs=1e-9)
+
+    def test_hybrid_sends_fewer_messages_than_mpi(self):
+        from repro.apps.jacobi import JACOBI_PROGRAMS
+
+        cfg = JacobiConfig(nx=64, ny=64, iters=8)
+        hyb = run_program("hybrid", jacobi_hybrid, 8, cfg)
+        mpi = run_program("mpi", JACOBI_PROGRAMS["mpi"], 8, cfg)
+        assert hyb.stats.total("msgs_sent") < mpi.stats.total("msgs_sent")
+
+    def test_stats_shared_across_sub_contexts(self):
+        def program(ctx):
+            x = ctx.shalloc("x", (64,), np.float64)
+            yield from ctx.stouch(x, write=True)
+            yield from ctx.mpi.barrier()
+            return True
+
+        res = run_program("hybrid", program, 2)
+        # both the SAS stores and the MPI sync landed on the same counters
+        assert res.stats.per_cpu[0].stores > 0
+        assert res.stats.per_cpu[0].sync_ns > 0

@@ -1,0 +1,104 @@
+"""Determinism properties: the whole simulation stack must be exactly
+reproducible — identical runs give identical virtual times, statistics,
+and results. Hypothesis drives randomized programs through the engine and
+the runtimes to check it."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine, MachineConfig
+from repro.models.registry import run_program
+from repro.sim import Delay, Engine
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=8),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_engine_runs_are_identical(delays):
+    """Same process set → same completion order and final time."""
+
+    def run_once():
+        eng = Engine()
+        order = []
+
+        def prog(tag, ds):
+            for d in ds:
+                yield Delay(d)
+            order.append(tag)
+
+        for tag, ds in enumerate(delays):
+            eng.spawn(prog(tag, ds))
+        eng.run()
+        return eng.now, order
+
+    t1, o1 = run_once()
+    t2, o2 = run_once()
+    assert t1 == t2
+    assert o1 == o2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nprocs=st.integers(2, 8),
+    sizes=st.lists(st.integers(1, 2000), min_size=1, max_size=5),
+    seed=st.integers(0, 100),
+)
+def test_mpi_runs_are_identical(nprocs, sizes, seed):
+    """Randomized ring programs produce bit-identical times and stats."""
+
+    def program(ctx):
+        rng = np.random.default_rng(seed + ctx.rank)
+        for i, size in enumerate(sizes):
+            data = rng.standard_normal(size)
+            got = yield from ctx.sendrecv(
+                data, (ctx.rank + 1) % ctx.nprocs, (ctx.rank - 1) % ctx.nprocs,
+                sendtag=i, recvtag=i,
+            )
+            yield from ctx.compute(float(abs(got[0])) * 10)
+        total = yield from ctx.allreduce(ctx.rank)
+        return total
+
+    a = run_program("mpi", program, nprocs)
+    b = run_program("mpi", program, nprocs)
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.rank_results == b.rank_results
+    assert a.stats.summary() == b.stats.summary()
+
+
+@settings(max_examples=15, deadline=None)
+@given(nprocs=st.integers(2, 6), n=st.integers(64, 256))
+def test_sas_runs_are_identical(nprocs, n):
+    def program(ctx):
+        from repro.models.sas.parallel import block_partition
+
+        x = ctx.shalloc("x", (n,), np.float64)
+        lo, hi = block_partition(n, ctx.nprocs, ctx.rank)
+        yield from ctx.swrite(x, np.arange(hi - lo, dtype=float), lo=lo)
+        yield from ctx.barrier()
+        vals = yield from ctx.sread(x)
+        total = yield from ctx.reduce_all(float(vals.sum()))
+        return total
+
+    a = run_program("sas", program, nprocs)
+    b = run_program("sas", program, nprocs)
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.rank_results == b.rank_results
+
+
+def test_full_app_run_is_identical():
+    from repro.apps.adapt import ADAPT_PROGRAMS, AdaptConfig, build_script
+
+    cfg = AdaptConfig(mesh_n=6, phases=2, solver_iters=3)
+    script = build_script(cfg, 4)
+    a = run_program("shmem", ADAPT_PROGRAMS["shmem"], 4, script)
+    b = run_program("shmem", ADAPT_PROGRAMS["shmem"], 4, script)
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.stats.summary() == b.stats.summary()
+    assert a.phase_ns == b.phase_ns

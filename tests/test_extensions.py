@@ -1,0 +1,258 @@
+"""Tests for the extension features: 1:3 mixed-mode refinement, SHMEM
+strided transfers and finc, SAS gather/scatter, MPI reduce_scatter, and
+the SAS barrier variants."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine, MachineConfig
+from repro.mesh import close_marks, distance_band_marks, refine, structured_mesh
+from repro.mesh.adapt import adapt_phase
+from repro.mesh.quality import mesh_quality, triangle_areas
+from repro.models.registry import run_program
+
+
+class TestMixedModeRefinement:
+    def test_two_marks_split_1to3(self):
+        m = structured_mesh(4)
+        tid = m.alive_tris()[5]
+        e0, e1, _ = m.tri_edges(tid)
+        rep = refine(m, {e0, e1}, mode="mixed")
+        m.validate()
+        assert rep.refined_1to3 == 1
+        assert not m.alive[tid]
+        assert len(m.children[tid]) == 3
+        assert tid in m.green  # 1:3 is anisotropic: dissolved next phase
+
+    def test_all_three_rotations(self):
+        for which in range(3):
+            m = structured_mesh(4)
+            tid = m.alive_tris()[9]
+            edges = m.tri_edges(tid)
+            marks = {edges[i] for i in range(3) if i != which}
+            rep = refine(m, marks, mode="mixed")
+            m.validate()
+            assert rep.refined_1to3 == 1
+            assert triangle_areas(m).sum() == pytest.approx(1.0)
+
+    def test_mixed_closure_is_identity(self):
+        m = structured_mesh(4)
+        tid = m.alive_tris()[0]
+        e0, e1, _ = m.tri_edges(tid)
+        assert close_marks(m, {e0, e1}, mode="mixed") == {e0, e1}
+
+    def test_unknown_mode_rejected(self):
+        m = structured_mesh(2)
+        with pytest.raises(ValueError, match="mode"):
+            close_marks(m, set(), mode="blue")
+
+    def test_red_green_still_rejects_two_marks(self):
+        m = structured_mesh(2)
+        tid = m.alive_tris()[0]
+        e0, e1, _ = m.tri_edges(tid)
+        with pytest.raises(ValueError, match="close_marks"):
+            refine(m, {e0, e1}, mode="red-green")
+
+    def test_mixed_mode_full_run_fewer_elements_same_quality(self):
+        results = {}
+        for mode in ("red-green", "mixed"):
+            m = structured_mesh(8)
+            for phase in range(5):
+                xf = 0.1 + 0.15 * phase
+                adapt_phase(
+                    m,
+                    lambda mesh, f=xf: distance_band_marks(
+                        mesh, lambda x, y: x - f, 0.05, max_level=3
+                    ),
+                    lambda mesh, f=xf: {
+                        t
+                        for t in mesh.alive_tris()
+                        if abs(
+                            mesh.verts_array()[list(mesh.tri_verts(t))][:, 0].mean() - f
+                        )
+                        > 0.2
+                    },
+                    validate=True,
+                    mode=mode,
+                )
+            results[mode] = (m.num_triangles, mesh_quality(m).min_angle_deg)
+        assert results["mixed"][0] < results["red-green"][0]
+        assert results["mixed"][1] > 15.0  # quality still bounded
+
+
+class TestShmemStrided:
+    def test_iput_scatters_with_stride(self):
+        def program(ctx):
+            a = ctx.salloc("a", (20,), np.float64)
+            if ctx.rank == 0:
+                yield from ctx.iput(a, 1, np.array([1.0, 2.0, 3.0]), target_stride=5, offset=2)
+            yield from ctx.barrier_all()
+            local = a.local(1)
+            return (local[2], local[7], local[12], local[3])
+
+        res = run_program("shmem", program, 2)
+        assert res.rank_results[1] == (1.0, 2.0, 3.0, 0.0)
+
+    def test_iget_gathers_with_stride(self):
+        def program(ctx):
+            a = ctx.salloc("a", (16,), np.float64)
+            a.local(ctx.rank)[:] = np.arange(16) + 100 * ctx.rank
+            yield from ctx.barrier_all()
+            got = yield from ctx.iget(a, (ctx.rank + 1) % ctx.nprocs, source_stride=4, count=4)
+            return got.tolist()
+
+        res = run_program("shmem", program, 2)
+        assert res.rank_results[0] == [100.0, 104.0, 108.0, 112.0]
+
+    def test_iput_unit_stride_delegates_to_put(self):
+        def program(ctx):
+            a = ctx.salloc("a", (8,), np.float64)
+            yield from ctx.iput(a, ctx.rank, np.ones(8), target_stride=1)
+            yield from ctx.quiet()
+            return float(a.local(ctx.rank).sum())
+
+        res = run_program("shmem", program, 1)
+        assert res.rank_results[0] == 8.0
+
+    def test_iput_bounds_checked(self):
+        def program(ctx):
+            a = ctx.salloc("a", (8,), np.float64)
+            yield from ctx.iput(a, 0, np.ones(4), target_stride=3, offset=0)
+
+        with pytest.raises(IndexError):
+            run_program("shmem", program, 1)
+
+    def test_iput_costs_more_than_put_per_byte(self):
+        """Strided remote stores cannot pipeline: line per element."""
+
+        def strided(ctx):
+            a = ctx.salloc("a", (4096,), np.float64)
+            if ctx.rank == 0:
+                yield from ctx.iput(a, 1, np.zeros(512), target_stride=8)
+                yield from ctx.quiet()
+            yield from ctx.barrier_all()
+
+        def contiguous(ctx):
+            a = ctx.salloc("a", (4096,), np.float64)
+            if ctx.rank == 0:
+                yield from ctx.put(a, 1, np.zeros(512))
+                yield from ctx.quiet()
+            yield from ctx.barrier_all()
+
+        t_str = run_program("shmem", strided, 2).elapsed_ns
+        t_con = run_program("shmem", contiguous, 2).elapsed_ns
+        assert t_str > t_con
+
+    def test_finc(self):
+        def program(ctx):
+            c = ctx.salloc("c", (1,), np.int64)
+            old = yield from ctx.atomic_finc(c, 0, 0)
+            yield from ctx.barrier_all()
+            return int(c.local(0)[0])
+
+        res = run_program("shmem", program, 4)
+        assert all(v == 4 for v in res.rank_results)
+
+
+class TestSasGatherScatter:
+    def test_roundtrip(self):
+        def program(ctx):
+            x = ctx.shalloc("x", (64,), np.float64)
+            idx = np.array([1, 17, 33, 63])
+            if ctx.rank == 0:
+                yield from ctx.swrite_idx(x, idx, [10.0, 20.0, 30.0, 40.0])
+            yield from ctx.barrier()
+            got = yield from ctx.sread_idx(x, idx)
+            return got.tolist()
+
+        res = run_program("sas", program, 2)
+        assert res.rank_results == [[10.0, 20.0, 30.0, 40.0]] * 2
+
+    def test_scatter_size_mismatch(self):
+        def program(ctx):
+            x = ctx.shalloc("x", (8,), np.float64)
+            yield from ctx.swrite_idx(x, [0, 1], [1.0])
+
+        with pytest.raises(ValueError, match="mismatch"):
+            run_program("sas", program, 1)
+
+    def test_out_of_range_rejected(self):
+        def program(ctx):
+            x = ctx.shalloc("x", (8,), np.float64)
+            yield from ctx.sread_idx(x, [99])
+
+        with pytest.raises(IndexError):
+            run_program("sas", program, 1)
+
+
+class TestMpiReduceScatter:
+    @pytest.mark.parametrize("n", (1, 2, 3, 4, 8))
+    def test_scalar_sums(self, n):
+        def program(ctx):
+            vals = [ctx.rank * 10 + d for d in range(ctx.nprocs)]
+            got = yield from ctx.reduce_scatter(vals)
+            return got
+
+        res = run_program("mpi", program, n)
+        for d, got in enumerate(res.rank_results[:n]):
+            assert got == sum(r * 10 + d for r in range(n))
+
+    def test_array_values(self):
+        def program(ctx):
+            vals = [np.full(4, float(ctx.rank + d)) for d in range(ctx.nprocs)]
+            got = yield from ctx.reduce_scatter(vals)
+            return float(got[0])
+
+        res = run_program("mpi", program, 3)
+        for d, got in enumerate(res.rank_results):
+            assert got == sum(r + d for r in range(3))
+
+    def test_bad_length(self):
+        def program(ctx):
+            yield from ctx.reduce_scatter([1])
+
+        with pytest.raises(ValueError):
+            run_program("mpi", program, 2)
+
+
+class TestSasBarrierKinds:
+    @pytest.mark.parametrize("kind", ("tree", "central"))
+    def test_both_kinds_synchronise(self, kind):
+        def program(ctx):
+            yield from ctx.compute(500.0 * ctx.rank)
+            yield from ctx.barrier(kind=kind)
+            return ctx.now
+
+        res = run_program("sas", program, 8)
+        assert all(t >= 500.0 * 7 for t in res.rank_results)
+
+    def test_machine_default_from_derived(self):
+        cfg = MachineConfig(nprocs=4)
+        cfg.derived["sas_barrier"] = "central"
+        machine = Machine(cfg)
+
+        def program(ctx):
+            yield from ctx.barrier()  # picks up the derived default
+            return True
+
+        res = run_program("sas", program, 4, machine=machine)
+        assert all(res.rank_results)
+
+    def test_unknown_kind_rejected(self):
+        def program(ctx):
+            yield from ctx.barrier(kind="mystery")
+
+        with pytest.raises(ValueError):
+            run_program("sas", program, 2)
+
+    def test_central_costs_more_under_simultaneous_arrival(self):
+        """With zero skew, the centralised barrier's serialisation shows."""
+
+        def program(ctx, kind):
+            for _ in range(20):
+                yield from ctx.barrier(kind=kind)
+            return ctx.now
+
+        t_tree = max(run_program("sas", program, 32, "tree").rank_results)
+        t_central = max(run_program("sas", program, 32, "central").rank_results)
+        assert t_central > t_tree

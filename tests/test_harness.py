@@ -1,0 +1,194 @@
+"""Tests for the experiment harness (runner, tables, figures, LoC, CLI)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps.jacobi import JacobiConfig
+from repro.harness import (
+    APPS,
+    ascii_chart,
+    count_loc,
+    effort_table,
+    format_table,
+    run_app,
+    sweep,
+)
+from repro.harness.breakdown import aggregate_breakdown, breakdown_rows, comm_stats_rows
+from repro.harness.tables import format_dict_table
+
+SMALL = JacobiConfig(nx=32, ny=32, iters=4)
+
+
+class TestRunApp:
+    def test_all_apps_registered(self):
+        assert set(APPS) == {"adapt", "adapt3d", "nbody", "jacobi"}
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            run_app("weather", "mpi", 2)
+
+    def test_run_returns_program_result(self):
+        res = run_app("jacobi", "mpi", 2, SMALL)
+        assert res.model == "mpi"
+        assert res.nprocs == 2
+        assert res.elapsed_ms > 0
+        assert len(res.rank_results) >= 2
+
+    def test_placement_is_forwarded(self):
+        # a grid spanning several pages, so placement actually differs
+        big = JacobiConfig(nx=128, ny=128, iters=4)
+        a = run_app("jacobi", "sas", 4, big, placement="first-touch")
+        b = run_app("jacobi", "sas", 4, big, placement="fixed:0")
+        assert a.elapsed_ms != b.elapsed_ms
+
+    def test_adapt_script_is_cached(self):
+        from repro.apps.adapt import AdaptConfig
+        from repro.harness.experiment import _script_cache
+
+        cfg = AdaptConfig(mesh_n=6, phases=2, solver_iters=3)
+        run_app("adapt", "mpi", 2, cfg)
+        key = ("adapt", cfg, 2)
+        assert key in _script_cache
+        cached = _script_cache[key]
+        run_app("adapt", "shmem", 2, cfg)
+        assert _script_cache[key] is cached
+
+
+class TestSweep:
+    def test_rows_cover_cross_product(self):
+        rows = sweep("jacobi", models=("mpi", "sas"), nprocs_list=(1, 2), workload=SMALL)
+        assert {(r.model, r.nprocs) for r in rows} == {
+            ("mpi", 1), ("mpi", 2), ("sas", 1), ("sas", 2)
+        }
+
+    def test_speedup_normalised_to_own_p1(self):
+        rows = sweep("jacobi", models=("mpi",), nprocs_list=(1, 2), workload=SMALL)
+        by = {r.nprocs: r for r in rows}
+        assert by[1].speedup == pytest.approx(1.0)
+        assert by[2].speedup == pytest.approx(by[1].elapsed_ms / by[2].elapsed_ms)
+        assert by[2].efficiency == pytest.approx(by[2].speedup / 2)
+
+    def test_common_baseline_normalisation(self):
+        rows = sweep(
+            "jacobi",
+            models=("mpi", "shmem"),
+            nprocs_list=(1, 2),
+            workload=SMALL,
+            baseline_model="mpi",
+        )
+        shm1 = next(r for r in rows if r.model == "shmem" and r.nprocs == 1)
+        mpi1 = next(r for r in rows if r.model == "mpi" and r.nprocs == 1)
+        assert shm1.speedup == pytest.approx(mpi1.elapsed_ms / shm1.elapsed_ms)
+
+
+class TestBreakdown:
+    def test_rows_per_rank(self):
+        res = run_app("jacobi", "mpi", 3, SMALL)
+        rows = breakdown_rows(res)
+        assert len(rows) == 3
+        for row in rows:
+            total = row["compute_pct"] + row["comm_pct"] + row["sync_pct"] + row["stall_pct"]
+            assert total == pytest.approx(100.0)
+
+    def test_aggregate_sums_to_100(self):
+        res = run_app("jacobi", "shmem", 2, SMALL)
+        agg = aggregate_breakdown(res)
+        assert (
+            agg["compute_pct"] + agg["comm_pct"] + agg["sync_pct"] + agg["stall_pct"]
+        ) == pytest.approx(100.0)
+
+    def test_comm_stats_keys(self):
+        res = run_app("jacobi", "sas", 2, SMALL)
+        stats = comm_stats_rows(res)
+        assert stats["model"] == "sas"
+        assert stats["messages"] == 0
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [333, 0.001]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+        assert "333" in text and "0.001" in text
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_dict_table(self):
+        text = format_dict_table([{"x": 1, "y": 2}], keys=["y", "x"])
+        header = text.splitlines()[0]
+        assert header.index("y") < header.index("x")
+
+    def test_dict_table_empty(self):
+        assert "(empty)" in format_dict_table([]) or format_dict_table([], title="t") == "t"
+
+
+class TestFigures:
+    def test_chart_contains_marks_and_legend(self):
+        text = ascii_chart({"one": [(1, 1.0), (2, 2.0)], "two": [(1, 0.5)]})
+        assert "legend" in text
+        assert "*" in text and "o" in text
+
+    def test_chart_handles_empty(self):
+        assert ascii_chart({}, title="nothing") == "nothing"
+
+    def test_chart_single_point(self):
+        text = ascii_chart({"s": [(1.0, 5.0)]})
+        assert "5.00" in text
+
+
+class TestLoc:
+    def test_count_skips_comments_docstrings_blanks(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            '"""Module docstring\nspanning lines."""\n\n'
+            "# comment\n"
+            "def f():\n"
+            '    """doc"""\n'
+            "    return 1  # trailing comment counts as code line\n"
+        )
+        assert count_loc(f) == 2  # def + return, nothing else
+
+    def test_effort_table_covers_nine_programs(self):
+        rows = effort_table()
+        assert {r["app"] for r in rows} == {"adapt", "nbody", "jacobi"}
+        for r in rows:
+            assert all(r[m] > 0 for m in ("mpi", "shmem", "sas"))
+
+
+class TestCli:
+    def test_describe(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["describe", "-n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "8 CPUs" in out
+
+    def test_micro_ladder_ordered(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["micro", "-n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "L2 hit" in out and "dirty miss" in out
+
+    def test_run_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "jacobi", "shmem", "-n", "2", "-s", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated time" in out
+
+    def test_effort_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["effort"]) == 0
+        assert "adapt" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "jacobi", "-p", "1,2", "-s", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out

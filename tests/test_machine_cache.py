@@ -1,0 +1,131 @@
+"""Unit + property tests for the L2 cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import CacheModel
+
+
+def make_cache(sets=4, assoc=2):
+    return CacheModel(sets=sets, assoc=assoc, line_bytes=128)
+
+
+def test_miss_then_hit():
+    c = make_cache()
+    hit, _ = c.access(10, write=False)
+    assert not hit
+    hit, _ = c.access(10, write=False)
+    assert hit
+    assert c.hits == 1 and c.misses == 1
+
+
+def test_write_marks_dirty():
+    c = make_cache()
+    c.access(10, write=True)
+    assert c.is_dirty(10)
+    c.downgrade(10)
+    assert not c.is_dirty(10)
+    assert c.contains(10)
+
+
+def test_lru_eviction_order():
+    c = make_cache(sets=1, assoc=2)
+    c.access(1, False)
+    c.access(2, False)
+    c.access(1, False)  # 1 becomes MRU
+    c.access(3, False)  # evicts 2
+    assert c.contains(1) and c.contains(3) and not c.contains(2)
+    assert c.evictions == 1
+
+
+def test_dirty_eviction_reports_writeback():
+    c = make_cache(sets=1, assoc=1)
+    c.access(1, write=True)
+    _, evicted = c.access(2, write=False)
+    assert evicted == 1
+    assert c.writebacks == 1
+
+
+def test_clean_eviction_is_silent():
+    c = make_cache(sets=1, assoc=1)
+    c.access(1, write=False)
+    _, evicted = c.access(2, write=False)
+    assert evicted is None
+    assert c.evictions == 1 and c.writebacks == 0
+
+
+def test_drop_invalidates():
+    c = make_cache()
+    c.access(5, False)
+    assert c.drop(5)
+    assert not c.contains(5)
+    assert not c.drop(5)
+
+
+def test_sets_isolate_lines():
+    c = make_cache(sets=4, assoc=1)
+    for line in range(4):  # lines 0..3 map to different sets
+        c.access(line, False)
+    assert all(c.contains(line) for line in range(4))
+    assert c.evictions == 0
+
+
+def test_line_addressing():
+    c = make_cache()
+    assert c.line_of(0) == 0
+    assert c.line_of(127) == 0
+    assert c.line_of(128) == 1
+
+
+def test_flush_empties():
+    c = make_cache()
+    for line in range(5):
+        c.access(line, False)
+    assert c.flush() == 5
+    assert c.resident_lines() == 0
+
+
+def test_evict_hook_called():
+    c = make_cache(sets=1, assoc=1)
+    evicted = []
+    c.set_evict_hook(evicted.append)
+    c.access(1, False)
+    c.access(2, False)
+    assert evicted == [1]
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheModel(sets=0, assoc=1, line_bytes=128)
+    with pytest.raises(ValueError):
+        CacheModel(sets=1, assoc=1, line_bytes=100)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63), st.booleans()),
+        max_size=200,
+    )
+)
+def test_occupancy_never_exceeds_capacity(accesses):
+    """Invariant: resident lines <= sets*assoc, and hits+misses = accesses."""
+    c = CacheModel(sets=4, assoc=2, line_bytes=128)
+    for line, write in accesses:
+        c.access(line, write)
+    assert c.resident_lines() <= 4 * 2
+    assert c.hits + c.misses == len(accesses)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=50)
+)
+def test_rereference_within_capacity_always_hits(lines):
+    """A direct re-access of the most recent line is always a hit."""
+    c = CacheModel(sets=8, assoc=2, line_bytes=128)
+    for line in lines:
+        c.access(line, False)
+        hit, _ = c.access(line, False)
+        assert hit

@@ -1,0 +1,109 @@
+"""Unit tests for the directory coherence protocol cost model."""
+
+import pytest
+
+from repro.machine import Machine, MachineConfig
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig(nprocs=8))
+
+
+def test_latency_ladder(machine):
+    """hit < local miss < remote miss < dirty miss — the Origin2000 ladder."""
+    d = machine.directory
+    cfg = machine.config
+    # cpu0 (node0) first-touch -> home is node0
+    local, kind = d.transaction(0, 1000, False, 0.0)
+    assert kind == "local"
+    hit, kind = d.transaction(0, 1000, False, 0.0)
+    assert kind == "hit" and hit == cfg.l2_hit_ns
+    # cpu6 is node3 (router 1): remote read of node0-homed line
+    remote, kind = d.transaction(6, 2000, False, 0.0)
+    assert kind == "local"  # 2000 first touched by node 3 -> local there
+    d2 = machine.directory
+    remote, kind = d2.transaction(6, 1000, False, 0.0)
+    assert kind == "remote"
+    # make line 3000 dirty at cpu0, then read from cpu6 -> dirty miss
+    d.transaction(0, 3000, True, 0.0)
+    dirty, kind = d.transaction(6, 3000, False, 0.0)
+    assert kind == "dirty"
+    assert hit < local < remote < dirty
+
+
+def test_write_invalidates_sharers(machine):
+    d = machine.directory
+    for cpu in (0, 2, 4):
+        d.transaction(cpu, 500, False, 0.0)
+    assert d.sharers_of(500) == {0, 2, 4}
+    d.transaction(6, 500, True, 0.0)
+    assert d.sharers_of(500) == {6}
+    assert d.owner_of(500) == 6
+    # the previous sharers lost their copies
+    for cpu in (0, 2, 4):
+        assert not machine.caches[cpu].contains(500)
+    assert machine.stats.per_cpu[6].invalidations_sent == 3
+
+
+def test_read_downgrades_dirty_owner(machine):
+    d = machine.directory
+    d.transaction(0, 600, True, 0.0)
+    assert d.owner_of(600) == 0
+    d.transaction(4, 600, False, 0.0)
+    assert d.owner_of(600) is None
+    assert d.sharers_of(600) == {0, 4}
+    assert machine.caches[0].contains(600)
+    assert not machine.caches[0].is_dirty(600)
+
+
+def test_write_hit_when_exclusive_is_cheap(machine):
+    d = machine.directory
+    d.transaction(0, 700, True, 0.0)
+    lat, kind = d.transaction(0, 700, True, 0.0)
+    assert kind == "hit"
+    assert lat == machine.config.l2_hit_ns
+
+
+def test_upgrade_from_shared(machine):
+    d = machine.directory
+    d.transaction(0, 800, False, 0.0)
+    d.transaction(2, 800, False, 0.0)
+    lat, kind = d.transaction(0, 800, True, 0.0)
+    assert kind == "upgrade"
+    assert lat > machine.config.l2_hit_ns
+    assert d.owner_of(800) == 0
+    assert not machine.caches[2].contains(800)
+
+
+def test_eviction_clears_directory_state():
+    machine = Machine(MachineConfig(nprocs=2, l2_bytes=2 * 128, l2_assoc=1))
+    d = machine.directory
+    d.transaction(0, 0, False, 0.0)   # set 0
+    d.transaction(0, 2, False, 0.0)   # set 0 again (2 sets total) -> evicts 0
+    assert d.sharers_of(0) == set()
+
+
+def test_home_queueing_penalises_hot_node():
+    machine = Machine(MachineConfig(nprocs=8), placement="fixed:0")
+    d = machine.directory
+    # many CPUs hammer lines homed on node 0 at the same instant
+    lat_first, _ = d.transaction(2, 10_000, False, 0.0)
+    lat_second, _ = d.transaction(4, 10_001, False, 0.0)
+    assert lat_second > lat_first  # waits behind the first at node 0's memory
+
+
+def test_dirty_write_takes_ownership(machine):
+    d = machine.directory
+    d.transaction(0, 900, True, 0.0)
+    lat, kind = d.transaction(4, 900, True, 0.0)
+    assert kind == "dirty"
+    assert d.owner_of(900) == 4
+    assert not machine.caches[0].contains(900)
+
+
+def test_transaction_counter(machine):
+    before = machine.stats.directory_transactions
+    machine.directory.transaction(0, 42, False, 0.0)
+    machine.directory.transaction(0, 42, False, 0.0)  # hit: not a dir txn
+    assert machine.stats.directory_transactions == before + 1

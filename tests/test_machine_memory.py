@@ -1,0 +1,106 @@
+"""Unit tests for the memory system and page-placement policies."""
+
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.machine.memory import MemorySystem
+
+
+def cfg(nprocs=8):
+    return MachineConfig(nprocs=nprocs)
+
+
+def test_alloc_is_line_aligned_and_disjoint():
+    mem = MemorySystem(cfg())
+    a = mem.alloc(100)
+    b = mem.alloc(100)
+    assert a % 128 == 0 and b % 128 == 0
+    assert b >= a + 100
+
+
+def test_alloc_page_aligned():
+    mem = MemorySystem(cfg())
+    a = mem.alloc(10, page_aligned=True)
+    assert a % cfg().page_bytes == 0
+
+
+def test_alloc_rejects_nonpositive():
+    mem = MemorySystem(cfg())
+    with pytest.raises(ValueError):
+        mem.alloc(0)
+
+
+def test_first_touch_assigns_accessor_node():
+    mem = MemorySystem(cfg(), policy="first-touch")
+    addr = mem.alloc(8, page_aligned=True)
+    assert mem.home_of(addr, accessor_node=2) == 2
+    # sticky afterwards
+    assert mem.home_of(addr, accessor_node=0) == 2
+
+
+def test_round_robin_interleaves():
+    c = cfg()
+    mem = MemorySystem(c, policy="round-robin")
+    addr = mem.alloc(4 * c.page_bytes, page_aligned=True)
+    homes = [mem.home_of(addr + i * c.page_bytes, accessor_node=0) for i in range(4)]
+    assert homes == [(mem.page_of(addr) + i) % c.nnodes for i in range(4)]
+    assert len(set(homes)) == min(4, c.nnodes)
+
+
+def test_fixed_policy_and_suffix():
+    mem = MemorySystem(cfg(), policy="fixed:3")
+    addr = mem.alloc(8)
+    assert mem.home_of(addr, accessor_node=0) == 3
+
+
+def test_fixed_node_out_of_range():
+    with pytest.raises(ValueError):
+        MemorySystem(cfg(), policy="fixed:99")
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        MemorySystem(cfg(), policy="chaotic")
+
+
+def test_explicit_place_overrides_policy():
+    c = cfg()
+    mem = MemorySystem(c, policy="fixed:0")
+    addr = mem.alloc(2 * c.page_bytes, page_aligned=True)
+    mem.place(addr, 2 * c.page_bytes, node=1)
+    assert mem.home_of(addr, accessor_node=0) == 1
+    assert mem.home_of(addr + c.page_bytes, accessor_node=0) == 1
+
+
+def test_place_rejects_bad_node():
+    c = cfg()
+    mem = MemorySystem(c)
+    with pytest.raises(ValueError):
+        mem.place(0, 8, node=c.nnodes)
+
+
+def test_peek_home_does_not_place():
+    mem = MemorySystem(cfg())
+    addr = mem.alloc(8, page_aligned=True)
+    assert mem.peek_home(addr) is None
+    mem.home_of(addr, accessor_node=1)
+    assert mem.peek_home(addr) == 1
+
+
+def test_placement_histogram():
+    c = cfg()
+    mem = MemorySystem(c, policy="round-robin")
+    addr = mem.alloc(c.nnodes * c.page_bytes, page_aligned=True)
+    for i in range(c.nnodes):
+        mem.home_of(addr + i * c.page_bytes, accessor_node=0)
+    hist = mem.placement_histogram()
+    assert sum(hist.values()) == c.nnodes
+    assert all(v == 1 for v in hist.values())
+
+
+def test_home_of_line_consistent_with_home_of():
+    c = cfg()
+    mem = MemorySystem(c, policy="round-robin")
+    addr = mem.alloc(c.page_bytes, page_aligned=True)
+    line = addr // c.line_bytes
+    assert mem.home_of_line(line, c.line_bytes, 0) == mem.home_of(addr, 0)

@@ -1,0 +1,98 @@
+"""Unit tests for the contended interconnect."""
+
+import pytest
+
+from repro.machine import Machine, MachineConfig
+
+
+def run_transfers(machine, transfers):
+    """Spawn concurrent transfers; returns completion times in spawn order."""
+    done = []
+
+    def mover(src, dst, nbytes, start):
+        from repro.sim.engine import Delay
+
+        yield Delay(start)
+        yield from machine.network.transfer(src, dst, nbytes)
+        done.append(machine.engine.now)
+
+    for spec in transfers:
+        machine.engine.spawn(mover(*spec))
+    machine.engine.run()
+    return done
+
+
+def test_uncontended_matches_pipe_ns():
+    m = Machine(MachineConfig(nprocs=16))
+    times = run_transfers(m, [(0, 5, 4096, 0)])
+    assert times[0] == pytest.approx(m.network.pipe_ns(0, 5, 4096))
+
+
+def test_intra_node_transfer_uses_memory_copy():
+    m = Machine(MachineConfig(nprocs=4))
+    times = run_transfers(m, [(1, 1, 1024, 0)])
+    assert times[0] == pytest.approx(1024 / m.config.intra_node_copy_bpns)
+
+
+def test_more_hops_cost_more():
+    m = Machine(MachineConfig(nprocs=32))
+    near = m.network.pipe_ns(0, 1, 1024)   # same router
+    far = m.network.pipe_ns(0, 15, 1024)   # across the hypercube
+    assert far > near
+
+
+def test_contention_serialises_shared_link():
+    m = Machine(MachineConfig(nprocs=16))
+    # two transfers from node 0 at t=0 share node 0's hub-out link
+    times = sorted(run_transfers(m, [(0, 4, 8192, 0), (0, 5, 8192, 0)]))
+    solo = m.network.pipe_ns(0, 4, 8192)
+    assert times[0] == pytest.approx(solo)
+    assert times[1] > solo * 1.5
+
+
+def test_disjoint_paths_do_not_interfere():
+    m = Machine(MachineConfig(nprocs=16))
+    solo_a = m.network.pipe_ns(0, 1, 8192)
+    times = run_transfers(m, [(0, 1, 8192, 0), (4, 5, 8192, 0)])
+    assert times[0] == pytest.approx(solo_a)
+    assert times[1] == pytest.approx(m.network.pipe_ns(4, 5, 8192))
+
+
+def test_negative_size_rejected():
+    m = Machine(MachineConfig(nprocs=4))
+
+    def bad():
+        yield from m.network.transfer(0, 1, -1)
+
+    m.engine.spawn(bad())
+    with pytest.raises(ValueError):
+        m.engine.run()
+
+
+def test_traffic_statistics():
+    m = Machine(MachineConfig(nprocs=8))
+    run_transfers(m, [(0, 2, 1000, 0), (1, 1, 500, 0)])
+    assert m.stats.network_messages == 2
+    assert m.stats.network_bytes == 1000  # intra-node bytes don't hit links
+
+
+def test_many_concurrent_transfers_complete():
+    """Stress the no-deadlock guarantee: all-to-all burst on 32 CPUs."""
+    m = Machine(MachineConfig(nprocs=32))
+    specs = []
+    n = m.config.nnodes
+    for s in range(n):
+        for d in range(n):
+            if s != d:
+                specs.append((s, d, 2048, 0))
+    times = run_transfers(m, specs)
+    assert len(times) == n * (n - 1)
+
+
+def test_link_utilisations_shape():
+    m = Machine(MachineConfig(nprocs=8))
+    run_transfers(m, [(0, 3, 65536, 0)])
+    utils = m.network.link_utilisations()
+    assert len(utils) == len(m.topology.links)
+    assert any(u > 0 for u in utils)
+    assert all(0 <= u <= 1.0 + 1e-9 for u in utils)

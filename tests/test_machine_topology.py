@@ -1,0 +1,124 @@
+"""Unit + property tests for the machine configuration and topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.config import MachineConfig
+from repro.machine.topology import Topology
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        cfg = MachineConfig()
+        assert cfg.nnodes == 4
+        assert cfg.nrouters == 2
+        assert cfg.cycle_ns == pytest.approx(4.0)
+
+    def test_node_router_mapping(self):
+        cfg = MachineConfig(nprocs=16)
+        assert cfg.nnodes == 8
+        assert cfg.nrouters == 4
+        assert cfg.node_of_cpu(0) == 0
+        assert cfg.node_of_cpu(15) == 7
+        assert cfg.router_of_node(7) == 3
+
+    def test_odd_nprocs_rounds_up_nodes(self):
+        cfg = MachineConfig(nprocs=5)
+        assert cfg.nnodes == 3
+        assert cfg.nrouters == 2
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(nprocs=0)
+        with pytest.raises(ValueError):
+            MachineConfig(line_bytes=100)
+        with pytest.raises(ValueError):
+            MachineConfig(page_bytes=1000)
+
+    def test_cpu_range_checked(self):
+        cfg = MachineConfig(nprocs=4)
+        with pytest.raises(ValueError):
+            cfg.node_of_cpu(4)
+        with pytest.raises(ValueError):
+            cfg.router_of_node(99)
+
+    def test_with_override(self):
+        cfg = MachineConfig().with_(nprocs=32)
+        assert cfg.nprocs == 32
+        assert cfg.clock_mhz == MachineConfig().clock_mhz
+
+    def test_l2_sets(self):
+        cfg = MachineConfig()
+        assert cfg.l2_sets * cfg.l2_assoc * cfg.line_bytes == cfg.l2_bytes
+
+
+class TestTopology:
+    def test_single_node_no_links_needed(self):
+        topo = Topology(MachineConfig(nprocs=2))
+        assert topo.route(0, 0) == ()
+
+    def test_route_endpoints(self):
+        cfg = MachineConfig(nprocs=32)
+        topo = Topology(cfg)
+        for src in range(cfg.nnodes):
+            for dst in range(cfg.nnodes):
+                if src == dst:
+                    assert topo.route(src, dst) == ()
+                    continue
+                links = [topo.links[i] for i in topo.route(src, dst)]
+                assert links[0].kind == "hub-out" and links[0].src == src
+                assert links[-1].kind == "hub-in" and links[-1].dst == dst
+                # path is connected
+                cur = cfg.router_of_node(src)
+                for link in links[1:-1]:
+                    assert link.src == cur
+                    cur = link.dst
+                assert cur == cfg.router_of_node(dst)
+
+    def test_route_hops_match_hamming_distance(self):
+        cfg = MachineConfig(nprocs=64)
+        topo = Topology(cfg)
+        for a in range(cfg.nnodes):
+            for b in range(cfg.nnodes):
+                ra, rb = cfg.router_of_node(a), cfg.router_of_node(b)
+                assert topo.router_hops(a, b) == bin(ra ^ rb).count("1")
+
+    def test_ranks_strictly_increase_along_route(self):
+        """The deadlock-freedom invariant: link ranks ascend along any path."""
+        cfg = MachineConfig(nprocs=64)
+        topo = Topology(cfg)
+        for src in range(cfg.nnodes):
+            for dst in range(cfg.nnodes):
+                ranks = [topo.links[i].rank for i in topo.route(src, dst)]
+                assert ranks == sorted(ranks)
+                assert len(set(ranks)) == len(ranks)
+
+    def test_same_router_nodes_skip_cube_links(self):
+        cfg = MachineConfig(nprocs=8)  # nodes 0,1 share router 0
+        topo = Topology(cfg)
+        kinds = [topo.links[i].kind for i in topo.route(0, 1)]
+        assert kinds == ["hub-out", "hub-in"]
+
+    def test_route_caching_returns_same_tuple(self):
+        topo = Topology(MachineConfig(nprocs=16))
+        assert topo.route(0, 3) is topo.route(0, 3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(nprocs=st.integers(min_value=1, max_value=128))
+    def test_every_pair_routable(self, nprocs):
+        cfg = MachineConfig(nprocs=nprocs)
+        topo = Topology(cfg)
+        # spot-check the extremes rather than all O(n^2) pairs
+        pairs = [(0, cfg.nnodes - 1), (cfg.nnodes - 1, 0), (0, 0)]
+        for a, b in pairs:
+            route = topo.route(a, b)
+            if a == b:
+                assert route == ()
+            else:
+                assert len(route) >= 2
+
+    def test_describe_mentions_counts(self):
+        topo = Topology(MachineConfig(nprocs=8))
+        text = topo.describe()
+        assert "8 CPUs" in text and "4 node" in text

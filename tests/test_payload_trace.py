@@ -1,0 +1,97 @@
+"""Tests for wire-size estimation and the trace buffer."""
+
+import numpy as np
+import pytest
+
+from repro.models.payload import nbytes_of
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestNbytesOf:
+    def test_none_is_free(self):
+        assert nbytes_of(None) == 0
+
+    def test_numpy_exact(self):
+        assert nbytes_of(np.zeros(10, dtype=np.float64)) == 80
+        assert nbytes_of(np.zeros((4, 4), dtype=np.int32)) == 64
+
+    def test_bytes_and_str(self):
+        assert nbytes_of(b"abc") == 3
+        assert nbytes_of("abc") == 3
+        assert nbytes_of("ü") == 2  # utf-8
+
+    def test_scalars(self):
+        assert nbytes_of(1) == 8
+        assert nbytes_of(1.5) == 8
+        assert nbytes_of(True) == 8
+        assert nbytes_of(np.float64(2.0)) == 8
+
+    def test_containers_sum_plus_overhead(self):
+        assert nbytes_of([1, 2]) == 16 + 16
+        assert nbytes_of((1,)) == 16 + 8
+        assert nbytes_of({"k": 1}) == 16 + 1 + 8
+
+    def test_nested(self):
+        payload = {"a": np.zeros(4), "b": [1, 2]}
+        assert nbytes_of(payload) == 16 + 1 + 32 + 1 + (16 + 16)
+
+    def test_object_with_dict(self):
+        class Thing:
+            def __init__(self):
+                self.x = np.zeros(2)
+                self.y = 3
+
+        assert nbytes_of(Thing()) == 16 + 16 + 8
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        t = Tracer()
+        t.emit(1.0, "a", "send")
+        assert t.records == []
+
+    def test_enabled_records(self):
+        t = Tracer(enabled=True)
+        t.emit(1.0, "rank0", "send", {"bytes": 8})
+        t.emit(2.0, "rank1", "recv")
+        assert len(t.records) == 2
+        assert t.records[0] == TraceRecord(1.0, "rank0", "send", {"bytes": 8})
+
+    def test_filter(self):
+        t = Tracer(enabled=True)
+        t.emit(1.0, "a", "send")
+        t.emit(2.0, "b", "send")
+        t.emit(3.0, "a", "recv")
+        assert len(t.filter(kind="send")) == 2
+        assert len(t.filter(actor="a")) == 2
+        assert len(t.filter(kind="send", actor="a")) == 1
+
+    def test_limit(self):
+        t = Tracer(enabled=True, limit=2)
+        for i in range(5):
+            t.emit(float(i), "a", "x")
+        assert len(t.records) == 2
+
+    def test_clear(self):
+        t = Tracer(enabled=True)
+        t.emit(1.0, "a", "x")
+        t.clear()
+        assert t.records == []
+
+    def test_context_trace_integration(self):
+        """ctx.trace feeds the machine tracer when enabled."""
+        from repro.machine import Machine, MachineConfig
+        from repro.models.registry import make_contexts
+
+        machine = Machine(MachineConfig(nprocs=2), trace=True)
+        contexts = make_contexts(machine, "mpi")
+
+        def program(ctx):
+            ctx.trace("phase", "start")
+            yield from ctx.compute(10.0)
+            ctx.trace("phase", "end")
+
+        for rank, ctx in enumerate(contexts):
+            machine.spawn_rank(rank, program(ctx))
+        machine.run()
+        assert len(machine.tracer.filter(kind="phase")) == 4

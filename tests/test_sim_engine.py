@@ -1,0 +1,281 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Deadlock, Delay, Engine, SimError
+from repro.sim.engine import WaitEvent
+
+
+def test_delay_advances_time():
+    eng = Engine()
+
+    def prog():
+        yield Delay(5)
+        yield Delay(7)
+        return "done"
+
+    proc = eng.spawn(prog())
+    eng.run()
+    assert eng.now == 12
+    assert proc.result == "done"
+    assert proc.finished
+
+
+def test_zero_delay_allowed():
+    eng = Engine()
+
+    def prog():
+        yield Delay(0)
+        return 1
+
+    proc = eng.spawn(prog())
+    eng.run()
+    assert eng.now == 0
+    assert proc.result == 1
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1)
+
+
+def test_fifo_tie_breaking_is_deterministic():
+    order = []
+
+    def prog(tag):
+        yield Delay(10)
+        order.append(tag)
+
+    eng = Engine()
+    for tag in range(5):
+        eng.spawn(prog(tag))
+    eng.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_carries_value():
+    eng = Engine()
+    ev = eng.event("x")
+
+    def producer():
+        yield Delay(3)
+        ev.fire(99)
+
+    def consumer():
+        value = yield WaitEvent(ev)
+        return value
+
+    eng.spawn(producer())
+    cons = eng.spawn(consumer())
+    eng.run()
+    assert cons.result == 99
+    assert eng.now == 3
+
+
+def test_event_already_fired_resumes_immediately():
+    eng = Engine()
+    ev = eng.event("pre")
+    ev.fire("early")
+
+    def consumer():
+        value = yield WaitEvent(ev)
+        return value
+
+    cons = eng.spawn(consumer())
+    eng.run()
+    assert cons.result == "early"
+
+
+def test_event_double_fire_is_error():
+    eng = Engine()
+    ev = eng.event("once")
+    ev.fire()
+    with pytest.raises(SimError):
+        ev.fire()
+
+
+def test_reusable_event_refires():
+    eng = Engine()
+    ev = eng.event("re", reusable=True)
+    seen = []
+
+    def consumer():
+        for _ in range(2):
+            value = yield WaitEvent(ev)
+            seen.append(value)
+
+    def producer():
+        yield Delay(1)
+        ev.fire("a")
+        yield Delay(1)
+        ev.fire("b")
+
+    eng.spawn(consumer())
+    eng.spawn(producer())
+    eng.run()
+    assert seen == ["a", "b"]
+
+
+def test_yielding_raw_event_works():
+    eng = Engine()
+    ev = eng.event()
+
+    def consumer():
+        value = yield ev
+        return value
+
+    def producer():
+        yield Delay(2)
+        ev.fire(7)
+
+    cons = eng.spawn(consumer())
+    eng.spawn(producer())
+    eng.run()
+    assert cons.result == 7
+
+
+def test_all_of_waits_for_every_event():
+    eng = Engine()
+    evs = [eng.event(str(i)) for i in range(3)]
+
+    def firer(i, t):
+        yield Delay(t)
+        evs[i].fire(i * 10)
+
+    def waiter():
+        values = yield AllOf(evs)
+        return values
+
+    for i, t in enumerate((5, 1, 3)):
+        eng.spawn(firer(i, t))
+    w = eng.spawn(waiter())
+    eng.run()
+    assert w.result == [0, 10, 20]
+    assert eng.now == 5
+
+
+def test_all_of_empty_and_prefired():
+    eng = Engine()
+    evs = [eng.event(str(i)) for i in range(2)]
+    for i, ev in enumerate(evs):
+        ev.fire(i)
+
+    def waiter():
+        values = yield AllOf(evs)
+        return values
+
+    w = eng.spawn(waiter())
+    eng.run()
+    assert w.result == [0, 1]
+
+
+def test_any_of_returns_first():
+    eng = Engine()
+    evs = [eng.event(str(i)) for i in range(3)]
+
+    def firer(i, t):
+        yield Delay(t)
+        evs[i].fire(f"v{i}")
+
+    def waiter():
+        idx, value = yield AnyOf(evs)
+        return idx, value
+
+    for i, t in enumerate((5, 2, 9)):
+        eng.spawn(firer(i, t))
+    w = eng.spawn(waiter())
+    eng.run()
+    assert w.result == (1, "v1")
+
+
+def test_any_of_requires_events():
+    with pytest.raises(ValueError):
+        AnyOf([])
+
+
+def test_deadlock_detected():
+    eng = Engine()
+    ev = eng.event("never")
+
+    def stuck():
+        yield WaitEvent(ev)
+
+    eng.spawn(stuck())
+    with pytest.raises(Deadlock):
+        eng.run()
+
+
+def test_process_exception_propagates():
+    eng = Engine()
+
+    def bad():
+        yield Delay(1)
+        raise RuntimeError("boom")
+
+    eng.spawn(bad())
+    with pytest.raises(RuntimeError, match="boom"):
+        eng.run()
+
+
+def test_unsupported_yield_raises():
+    eng = Engine()
+
+    def bad():
+        yield 42
+
+    eng.spawn(bad())
+    with pytest.raises(SimError, match="unsupported request"):
+        eng.run()
+
+
+def test_spawn_requires_generator():
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.spawn(lambda: None)
+
+
+def test_run_until_stops_early():
+    eng = Engine()
+
+    def prog():
+        yield Delay(100)
+
+    eng.spawn(prog())
+    eng.run(until=50)
+    assert eng.now == 50
+
+
+def test_end_event_fires_with_result():
+    eng = Engine()
+
+    def prog():
+        yield Delay(1)
+        return "finished"
+
+    proc = eng.spawn(prog())
+
+    def watcher():
+        value = yield WaitEvent(proc.end_event)
+        return value
+
+    w = eng.spawn(watcher())
+    eng.run()
+    assert w.result == "finished"
+
+
+def test_nested_yield_from_composition():
+    eng = Engine()
+
+    def inner():
+        yield Delay(4)
+        return 2
+
+    def outer():
+        a = yield from inner()
+        b = yield from inner()
+        return a + b
+
+    proc = eng.spawn(outer())
+    eng.run()
+    assert proc.result == 4
+    assert eng.now == 8

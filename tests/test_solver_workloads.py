@@ -1,0 +1,158 @@
+"""Tests for the solver kernels and workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import structured_mesh
+from repro.solver import interpolate_new_vertices, jacobi_sweep, residual_norm, vertex_csr
+from repro.workloads import MovingShock, plummer_bodies
+from repro.workloads.plummer import uniform_bodies
+
+
+class TestVertexCsr:
+    def test_structured_mesh_degrees(self):
+        m = structured_mesh(2)
+        xadj, adjncy = vertex_csr(m)
+        assert len(xadj) == m.num_vertices + 1
+        # centre vertex of a 2x2 alternating-diagonal grid touches many
+        degs = np.diff(xadj)
+        assert degs.min() >= 2
+        assert degs.sum() == len(adjncy)
+
+    def test_symmetry(self):
+        m = structured_mesh(3)
+        xadj, adjncy = vertex_csr(m)
+        for v in range(m.num_vertices):
+            for u in adjncy[xadj[v] : xadj[v + 1]]:
+                assert v in adjncy[xadj[u] : xadj[u + 1]]
+
+
+class TestJacobi:
+    def test_constant_field_is_fixed_point_of_mean(self):
+        m = structured_mesh(3)
+        xadj, adjncy = vertex_csr(m)
+        u = np.full(m.num_vertices, 3.0)
+        rows = np.arange(m.num_vertices)
+        forcing = np.full(m.num_vertices, 3.0)
+        new = jacobi_sweep(u, xadj, adjncy, rows, forcing, omega=0.7)
+        assert np.allclose(new, 3.0)
+
+    def test_rows_subset_with_local_csr(self):
+        m = structured_mesh(3)
+        xadj, adjncy = vertex_csr(m)
+        u = np.arange(m.num_vertices, dtype=float)
+        rows = np.array([2, 5])
+        local_xadj = np.array(
+            [0, xadj[3] - xadj[2], (xadj[3] - xadj[2]) + (xadj[6] - xadj[5])]
+        )
+        local_adj = np.concatenate([adjncy[xadj[2] : xadj[3]], adjncy[xadj[5] : xadj[6]]])
+        new = jacobi_sweep(u, local_xadj, local_adj, rows, np.zeros(2))
+        assert new.shape == (2,)
+
+    def test_bad_csr_length(self):
+        with pytest.raises(ValueError):
+            jacobi_sweep(np.zeros(4), np.array([0, 1]), np.array([1]), np.array([0, 1]), np.zeros(2))
+
+    def test_empty_rows(self):
+        out = jacobi_sweep(np.zeros(4), np.array([0]), np.zeros(0, dtype=int), np.zeros(0, dtype=int), np.zeros(0))
+        assert out.shape == (0,)
+
+    def test_converges_toward_forcing(self):
+        m = structured_mesh(4)
+        xadj, adjncy = vertex_csr(m)
+        coords = m.verts_array()
+        forcing = np.tanh((coords[:, 0] - 0.5) / 0.1)
+        u = np.zeros(m.num_vertices)
+        rows = np.arange(m.num_vertices)
+        for _ in range(50):
+            u[rows] = jacobi_sweep(u, xadj, adjncy, rows, forcing)
+        err = np.abs(u - forcing).mean()
+        assert err < 0.2
+
+    def test_residual_norm(self):
+        assert residual_norm(np.array([3.0, 4.0]), np.zeros(2)) == pytest.approx(5.0)
+        assert residual_norm(np.ones(3), np.ones(3)) == 0.0
+
+
+class TestInterpolation:
+    def test_midpoints_get_averages(self):
+        u = np.array([1.0, 3.0])
+        out = interpolate_new_vertices(u, [(2, 0, 1)], 3)
+        assert out[2] == 2.0
+
+    def test_chained_triples(self):
+        u = np.array([0.0, 4.0])
+        out = interpolate_new_vertices(u, [(2, 0, 1), (3, 0, 2)], 4)
+        assert out[2] == 2.0 and out[3] == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(-10, 10), min_size=2, max_size=10))
+    def test_property_interp_within_range(self, values):
+        """Invariant: interpolated values stay within [min, max] of inputs."""
+        u = np.asarray(values)
+        n = len(u)
+        triples = [(n, 0, n - 1), (n + 1, 0, n)]
+        out = interpolate_new_vertices(u, triples, n + 2)
+        assert out[n:].min() >= u.min() - 1e-12
+        assert out[n:].max() <= u.max() + 1e-12
+
+
+class TestShockWorkload:
+    def test_front_moves(self):
+        s = MovingShock(x0=0.1, speed=0.2)
+        assert s.front(0) == pytest.approx(0.1)
+        assert s.front(3) == pytest.approx(0.7)
+
+    def test_field_is_step_across_front(self):
+        s = MovingShock()
+        left = s.field(0, np.array([[0.0, 0.5]]))
+        right = s.field(0, np.array([[1.0, 0.5]]))
+        assert left[0] < -0.9 and right[0] > 0.9
+
+    def test_marks_hug_front(self):
+        s = MovingShock(x0=0.5, band=0.05)
+        m = structured_mesh(8)
+        verts = m.verts_array()
+        for a, b in s.marks(m, 0):
+            mid = (verts[a][0] + verts[b][0]) / 2
+            assert abs(mid - 0.5) <= 0.051
+
+    def test_coarsen_candidates_far_from_front(self):
+        s = MovingShock(x0=0.1, coarsen_distance=0.3)
+        m = structured_mesh(8)
+        verts = m.verts_array()
+        for t in s.coarsen_candidates(m, 0):
+            cx = verts[list(m.tri_verts(t))][:, 0].mean()
+            assert abs(cx - 0.1) > 0.3
+
+
+class TestPlummer:
+    def test_deterministic(self):
+        p1, v1, m1 = plummer_bodies(100, seed=4)
+        p2, v2, m2 = plummer_bodies(100, seed=4)
+        assert np.array_equal(p1, p2) and np.array_equal(v1, v2)
+
+    def test_inside_unit_square(self):
+        pos, _, _ = plummer_bodies(500, seed=1)
+        assert pos.min() >= 0.0 and pos.max() <= 1.0
+
+    def test_centrally_condensed(self):
+        pos, _, _ = plummer_bodies(1000, seed=0)
+        r = np.hypot(pos[:, 0] - 0.5, pos[:, 1] - 0.5)
+        # more than half the bodies inside one scale radius-ish
+        assert (r < 0.2).mean() > 0.5
+
+    def test_mass_normalised(self):
+        _, _, mass = plummer_bodies(64)
+        assert mass.sum() == pytest.approx(1.0)
+
+    def test_uniform_spreads(self):
+        pos, _, _ = uniform_bodies(1000, seed=0)
+        r = np.hypot(pos[:, 0] - 0.5, pos[:, 1] - 0.5)
+        assert (r < 0.2).mean() < 0.3
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            plummer_bodies(0)
