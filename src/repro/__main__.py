@@ -5,9 +5,13 @@ Commands
 ``run``     one (app, model, P) configuration, with breakdown
 ``sweep``   app × model × P sweep with speedup table and ASCII chart
 ``micro``   the machine microbenchmarks (latency ladder, messaging)
+``bench-sas`` host-time benchmark of the batched SAS memory pipeline
 ``effort``  the programming-effort (LoC) table
 ``describe`` the simulated machine for a given processor count
 ``paper``   regenerate every experiment table/figure (R-F*/R-T*)
+
+``run --profile`` enables the wall-clock profiler and prints a host-time
+breakdown by simulator subsystem after the run.
 """
 
 from __future__ import annotations
@@ -61,6 +65,10 @@ def _workload(app: str, size: str):
 
 def cmd_run(args: argparse.Namespace) -> int:
     wl = _workload(args.app, args.size)
+    if args.profile:
+        from repro.harness.profile import PROFILER
+
+        PROFILER.reset().enable()
     result = run_app(args.app, args.model, args.nprocs, wl, placement=args.placement)
     agg = aggregate_breakdown(result)
     print(f"{args.app} under {args.model} on {args.nprocs} CPUs ({args.size} workload)")
@@ -75,6 +83,45 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"  traffic        : {stats['messages']} msgs / {stats['puts']} puts /"
         f" {stats['remote_misses'] + stats['dirty_misses']} coherence misses"
     )
+    if args.profile:
+        from repro.harness.profile import PROFILER
+
+        PROFILER.disable()
+        print()
+        print(PROFILER.report())
+    return 0
+
+
+def cmd_bench_sas(args: argparse.Namespace) -> int:
+    from repro.harness.profile import run_sas_microbench, write_bench_json
+
+    record = run_sas_microbench(
+        nprocs=args.nprocs, elements=args.elements, sweeps=args.sweeps
+    )
+    path = write_bench_json(record, args.output)
+    print(f"SAS line-touch microbenchmark (P={args.nprocs}, "
+          f"{record['lines_touched']} lines touched)")
+    print(f"  simulated time : {record['simulated_ns'] / 1e6:.3f} ms "
+          f"(bit-identical batch on/off: {record['identical_simulated_ns']})")
+    print(f"  scalar path    : {record['scalar']['host_seconds']:.3f} s host "
+          f"({record['scalar']['lines_per_sec']:,.0f} lines/s)")
+    print(f"  batched path   : {record['batch']['host_seconds']:.3f} s host "
+          f"({record['batch']['lines_per_sec']:,.0f} lines/s)")
+    print(f"  host speedup   : {record['speedup']:.2f}x")
+    print(f"  wrote {path}")
+    if args.require_batch:
+        from repro.machine import Machine, MachineConfig
+
+        if not Machine(MachineConfig(nprocs=args.nprocs)).directory.batch_enabled:
+            print("ERROR: batched fast path is not enabled by default", file=sys.stderr)
+            return 1
+    if args.min_speedup > 0 and record["speedup"] < args.min_speedup:
+        print(
+            f"ERROR: host speedup {record['speedup']:.2f}x below the "
+            f"required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -177,6 +224,8 @@ def main(argv=None) -> int:
     p.add_argument("-n", "--nprocs", type=int, default=8)
     p.add_argument("-s", "--size", choices=("small", "medium", "large"), default="medium")
     p.add_argument("--placement", default="first-touch")
+    p.add_argument("--profile", action="store_true",
+                   help="measure host time per simulator subsystem")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("sweep", help="app x model x P sweep")
@@ -189,6 +238,18 @@ def main(argv=None) -> int:
     p = sub.add_parser("micro", help="machine latency microbenchmarks")
     p.add_argument("-n", "--nprocs", type=int, default=16)
     p.set_defaults(fn=cmd_micro)
+
+    p = sub.add_parser("bench-sas", help="host-time benchmark of the SAS memory pipeline")
+    p.add_argument("-n", "--nprocs", type=int, default=4)
+    p.add_argument("--elements", type=int, default=40_000,
+                   help="shared elements per rank (default touches >1e5 lines)")
+    p.add_argument("--sweeps", type=int, default=3)
+    p.add_argument("-o", "--output", default=None, help="BENCH_SAS.json path")
+    p.add_argument("--require-batch", action="store_true",
+                   help="fail unless the batched fast path is enabled (CI)")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="with --require-batch: fail below this host speedup")
+    p.set_defaults(fn=cmd_bench_sas)
 
     p = sub.add_parser("effort", help="programming-effort (LoC) table")
     p.set_defaults(fn=cmd_effort)

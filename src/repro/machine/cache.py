@@ -5,14 +5,26 @@ actual data lives once in the shared NumPy arrays (this is a cost model, not
 a value model).  The directory calls :meth:`drop` to enforce invalidations
 and downgrades, keeping the cache contents consistent with the protocol
 state.
+
+State is held in flat NumPy arrays — per-set way tags, dirty bits and LRU
+stamps — so that the batched memory-system fast path
+(:meth:`repro.machine.directory.Directory.transaction_batch`) can probe and
+update thousands of lines per NumPy call.  The scalar :meth:`access` API is
+unchanged and bit-identical to the historical ``OrderedDict`` model: stamps
+are a global monotonic clock, so "minimum stamp among occupied ways" is
+exactly the old insertion/move-to-end LRU order.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 __all__ = ["CacheModel"]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_BOOL = np.empty(0, dtype=bool)
 
 
 class CacheModel:
@@ -28,8 +40,11 @@ class CacheModel:
         self.line_bytes = line_bytes
         self.name = name
         self._line_shift = line_bytes.bit_length() - 1
-        # per-set ordered map: line -> dirty flag, LRU order = insertion order
-        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        # way state: tag (-1 = empty), dirty bit, LRU stamp (global clock)
+        self._tags = np.full((sets, assoc), -1, dtype=np.int64)
+        self._dirty = np.zeros((sets, assoc), dtype=bool)
+        self._stamp = np.zeros((sets, assoc), dtype=np.int64)
+        self._clock = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -43,7 +58,14 @@ class CacheModel:
     def set_of(self, line: int) -> int:
         return line % self.sets
 
-    # -- operations -----------------------------------------------------------
+    # -- scalar operations ----------------------------------------------------
+
+    def _way_of(self, s: int, line: int) -> int:
+        row = self._tags[s]
+        for w in range(self.assoc):
+            if row[w] == line:
+                return w
+        return -1
 
     def access(self, line: int, write: bool) -> Tuple[bool, Optional[int]]:
         """Access a line; returns ``(hit, evicted_dirty_line_or_None)``.
@@ -54,29 +76,122 @@ class CacheModel:
         responsible for protocol bookkeeping of both the fill and any
         eviction.
         """
-        s = self._sets.get(self.set_of(line))
-        if s is not None and line in s:
+        s = line % self.sets
+        w = self._way_of(s, line)
+        if w >= 0:
             self.hits += 1
-            s.move_to_end(line)
+            self._stamp[s, w] = self._clock
+            self._clock += 1
             if write:
-                s[line] = True
+                self._dirty[s, w] = True
             return True, None
         self.misses += 1
-        if s is None:
-            s = OrderedDict()
-            self._sets[self.set_of(line)] = s
+        row = self._tags[s]
         evicted_dirty = None
-        if len(s) >= self.assoc:
-            old_line, old_dirty = s.popitem(last=False)
+        w = -1
+        for cand in range(self.assoc):
+            if row[cand] == -1:
+                w = cand
+                break
+        if w < 0:  # set full: evict the LRU (minimum-stamp) way
+            w = int(np.argmin(self._stamp[s]))
+            old_line = int(row[w])
             self.evictions += 1
-            if old_dirty:
+            if self._dirty[s, w]:
                 self.writebacks += 1
                 evicted_dirty = old_line
-            else:
-                evicted_dirty = None
             self._note_eviction(old_line)
-        s[line] = write
+        self._tags[s, w] = line
+        self._dirty[s, w] = write
+        self._stamp[s, w] = self._clock
+        self._clock += 1
         return False, evicted_dirty
+
+    # -- batched operations ----------------------------------------------------
+
+    def probe_batch(self, lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Read-only bulk residency probe.
+
+        Returns ``(eq, hit)`` where ``eq`` is the ``(n, assoc)`` boolean
+        tag-match matrix and ``hit`` its any-way reduction.  No state is
+        modified; feed ``eq`` back into :meth:`access_batch` to avoid a
+        second gather.
+        """
+        sets_idx = lines % self.sets
+        eq = self._tags[sets_idx] == lines[:, None]
+        return eq, eq.any(axis=1)
+
+    def access_batch(
+        self,
+        lines: np.ndarray,
+        write: bool,
+        eq: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Bulk access of a hazard-free run of lines.
+
+        The caller must guarantee that, *if the run contains any miss*, no
+        cache set is referenced more than once in the run (the batched
+        directory splits runs at set collisions); this makes every victim
+        choice independent and the result bit-identical to ``assoc``-way
+        scalar LRU processing in order.
+
+        Returns ``(hit, fill_pos, evict_pos, evicted_lines, evicted_dirty)``:
+
+        * ``hit`` — per-line boolean hit mask,
+        * ``fill_pos`` — indices into ``lines`` that missed (install order),
+        * ``evict_pos`` — the subset of ``fill_pos`` whose install evicted a
+          victim (the set was full),
+        * ``evicted_lines`` / ``evicted_dirty`` — victim line ids and their
+          dirty bits, aligned with ``evict_pos``.
+
+        Unlike scalar :meth:`access`, the eviction hook is **not** invoked:
+        batch callers receive the victims and own the protocol bookkeeping.
+        """
+        n = lines.size
+        sets_idx = lines % self.sets
+        if eq is None:
+            eq = self._tags[sets_idx] == lines[:, None]
+        hit = eq.any(axis=1)
+        stamps = self._clock + np.arange(n, dtype=np.int64)
+        self._clock += n
+        flat_stamp = self._stamp.reshape(-1)
+        hidx = np.nonzero(hit)[0]
+        if hidx.size:
+            flat = sets_idx[hidx] * self.assoc + np.argmax(eq[hidx], axis=1)
+            # maximum.at: with duplicate hit lines the later (larger) stamp wins
+            np.maximum.at(flat_stamp, flat, stamps[hidx])
+            if write:
+                self._dirty.reshape(-1)[flat] = True
+            self.hits += int(hidx.size)
+        fill_pos = np.nonzero(~hit)[0]
+        evict_pos = _EMPTY_I64
+        evicted_lines = _EMPTY_I64
+        evicted_dirty = _EMPTY_BOOL
+        if fill_pos.size:
+            ms = sets_idx[fill_pos]
+            rows = self._tags[ms]  # (k, assoc)
+            empty = rows == -1
+            has_empty = empty.any(axis=1)
+            way = np.where(
+                has_empty,
+                np.argmax(empty, axis=1),
+                np.argmin(self._stamp[ms], axis=1),
+            )
+            full = ~has_empty
+            if full.any():
+                ev_sets = ms[full]
+                ev_ways = way[full]
+                evict_pos = fill_pos[full]
+                evicted_lines = self._tags[ev_sets, ev_ways].copy()
+                evicted_dirty = self._dirty[ev_sets, ev_ways].copy()
+                self.evictions += int(full.sum())
+                self.writebacks += int(evicted_dirty.sum())
+            flat = ms * self.assoc + way
+            self._tags.reshape(-1)[flat] = lines[fill_pos]
+            self._dirty.reshape(-1)[flat] = write
+            flat_stamp[flat] = stamps[fill_pos]
+            self.misses += int(fill_pos.size)
+        return hit, fill_pos, evict_pos, evicted_lines, evicted_dirty
 
     _evict_hook = None
 
@@ -85,38 +200,88 @@ class CacheModel:
             self._evict_hook(line)
 
     def set_evict_hook(self, hook) -> None:
-        """Callback(line) invoked on every eviction (clean or dirty)."""
+        """Callback(line) invoked on every *scalar* eviction (clean or dirty)."""
         self._evict_hook = hook
 
     def contains(self, line: int) -> bool:
-        s = self._sets.get(self.set_of(line))
-        return s is not None and line in s
+        return self._way_of(line % self.sets, line) >= 0
 
     def is_dirty(self, line: int) -> bool:
-        s = self._sets.get(self.set_of(line))
-        return bool(s and s.get(line, False))
+        w = self._way_of(line % self.sets, line)
+        return bool(w >= 0 and self._dirty[line % self.sets, w])
 
     def drop(self, line: int) -> bool:
         """Invalidate a line (directory-initiated); True if it was present."""
-        s = self._sets.get(self.set_of(line))
-        if s is not None and line in s:
-            del s[line]
-            return True
-        return False
+        s = line % self.sets
+        w = self._way_of(s, line)
+        if w < 0:
+            return False
+        self._tags[s, w] = -1
+        self._dirty[s, w] = False
+        return True
 
     def downgrade(self, line: int) -> bool:
         """Clear the dirty bit (exclusive→shared); True if line present."""
-        s = self._sets.get(self.set_of(line))
-        if s is not None and line in s:
-            s[line] = False
-            return True
-        return False
+        s = line % self.sets
+        w = self._way_of(s, line)
+        if w < 0:
+            return False
+        self._dirty[s, w] = False
+        return True
+
+    def downgrade_batch(self, lines: np.ndarray) -> None:
+        """Bulk :meth:`downgrade` — LRU stamps untouched, just dirty bits."""
+        sets_idx = lines % self.sets
+        eq = self._tags[sets_idx] == lines[:, None]
+        hidx = np.nonzero(eq.any(axis=1))[0]
+        if hidx.size:
+            flat = sets_idx[hidx] * self.assoc + np.argmax(eq[hidx], axis=1)
+            self._dirty.reshape(-1)[flat] = False
 
     def resident_lines(self) -> int:
-        return sum(len(s) for s in self._sets.values())
+        return int((self._tags != -1).sum())
+
+    def lines(self) -> List[int]:
+        """All resident line ids (unordered) — introspection for tests/tools."""
+        return [int(x) for x in self._tags[self._tags != -1]]
 
     def flush(self) -> int:
         """Drop everything (e.g. between experiment repetitions)."""
         n = self.resident_lines()
-        self._sets.clear()
+        self._tags.fill(-1)
+        self._dirty.fill(False)
         return n
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when never accessed)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def occupancy(self) -> float:
+        """Fraction of ways currently holding a line."""
+        return self.resident_lines() / (self.sets * self.assoc)
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Counter snapshot for reports and the profiling harness."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "hit_rate": self.hit_rate,
+            "resident": self.resident_lines(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheModel({self.name or 'L2'!r}, {self.sets}x{self.assoc} ways, "
+            f"{self.line_bytes}B lines, {self.resident_lines()} resident, "
+            f"hit_rate={self.hit_rate:.3f})"
+        )

@@ -22,6 +22,7 @@ from repro.machine.config import MachineConfig
 from repro.machine.stats import MachineStats
 from repro.machine.topology import Topology
 from repro.sim.engine import Delay, Engine
+from repro.sim.profile import PROFILER, profile_generator
 from repro.sim.resources import Resource
 
 __all__ = ["Network"]
@@ -57,6 +58,13 @@ class Network:
 
     def transfer(self, src_node: int, dst_node: int, nbytes: int) -> Generator:
         """Generator: completes when the last byte arrives at ``dst_node``."""
+        if PROFILER.enabled:
+            return profile_generator(
+                "network", self._transfer(src_node, dst_node, nbytes)
+            )
+        return self._transfer(src_node, dst_node, nbytes)
+
+    def _transfer(self, src_node: int, dst_node: int, nbytes: int) -> Generator:
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
         self.stats.network_messages += 1

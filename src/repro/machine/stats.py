@@ -81,6 +81,7 @@ class MachineStats:
     network_bytes: int = 0
     network_messages: int = 0
     directory_transactions: int = 0
+    writebacks_charged: int = 0  # dirty-eviction writebacks billed by the directory
 
     @classmethod
     def for_nprocs(cls, nprocs: int) -> "MachineStats":
@@ -112,4 +113,5 @@ class MachineStats:
             "invalidations": self.total("invalidations_sent"),
             "network_bytes": self.network_bytes,
             "directory_transactions": self.directory_transactions,
+            "writebacks_charged": self.writebacks_charged,
         }

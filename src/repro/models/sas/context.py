@@ -9,6 +9,7 @@ paper's breakdowns report it).
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 import numpy as np
@@ -19,6 +20,10 @@ from repro.models.sas.shared import SharedArray
 from repro.sim.engine import Delay, Event, WaitEvent
 
 __all__ = ["SasWorld", "SasContext"]
+
+#: below this many lines the scalar loop beats the NumPy batch setup cost
+#: (sync primitives touch 1-2 lines; both paths are bit-identical anyway)
+_BATCH_MIN = 16
 
 
 class SasWorld:
@@ -100,9 +105,19 @@ class SasContext(BaseContext):
         directory = self.machine.directory
         stats = self.stats
         now = self.now
+        if isinstance(lines, np.ndarray) and lines.size >= _BATCH_MIN:
+            total, counts = directory.transaction_batch(
+                self.rank, lines, write, now, coherence_only=coherence_only
+            )
+            stats.l2_hits += counts["hit"]
+            stats.local_misses += counts["local"]
+            stats.remote_misses += counts["remote"] + counts["upgrade"]
+            stats.dirty_misses += counts["dirty"]
+            stats.lines_touched += int(lines.size)
+            return total
         total = 0.0
         for line in lines:
-            latency, kind = directory.transaction(self.rank, line, write, now + total)
+            latency, kind = directory.transaction(self.rank, int(line), write, now + total)
             if kind == "hit":
                 stats.l2_hits += 1
                 if coherence_only:
@@ -136,23 +151,23 @@ class SasContext(BaseContext):
             self.stats.stores += hi - lo
         else:
             self.stats.loads += hi - lo
-        ns = self._touch_lines(arr.line_range(lo, hi), write, coherence_only=True)
+        ns = self._touch_lines(arr.line_array(lo, hi), write, coherence_only=True)
         yield from self.charged_delay("stall", ns)
 
     def stouch_idx(self, arr: SharedArray, indices: Sequence[int], write: bool = False) -> Generator:
         """Charge scattered (indexed) accesses — the irregular-app pattern."""
+        indices = np.asarray(indices, dtype=np.int64)
         if write:
-            self.stats.stores += len(indices)
+            self.stats.stores += int(indices.size)
         else:
-            self.stats.loads += len(indices)
+            self.stats.loads += int(indices.size)
         # dedupe consecutive same-line touches cheaply while preserving order
-        lines = []
-        last = None
-        for idx in indices:
-            line = arr.line_of(int(idx))
-            if line != last:
-                lines.append(line)
-                last = line
+        lines = arr.lines_of(indices)
+        if lines.size > 1:
+            keep = np.empty(lines.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+            lines = lines[keep]
         ns = self._touch_lines(lines, write, coherence_only=True)
         yield from self.charged_delay("stall", ns)
 
@@ -326,8 +341,6 @@ class SasContext(BaseContext):
         Each rank writes its contribution to a padded slot, rank 0 combines
         after a barrier, everyone reads the result after a second barrier.
         """
-        import operator
-
         fn: Callable = operator.add if op is None else op
         world = self.world
         if self.nprocs == 1:

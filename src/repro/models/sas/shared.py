@@ -54,9 +54,21 @@ class SharedArray:
         last = (self.base + hi * self.itemsize - 1) >> self._line_shift
         return range(first, last + 1)
 
+    def line_array(self, lo: int, hi: int) -> np.ndarray:
+        """:meth:`line_range` as an ``int64`` array (batched touch path)."""
+        if lo >= hi:
+            return np.empty(0, dtype=np.int64)
+        first = (self.base + lo * self.itemsize) >> self._line_shift
+        last = (self.base + hi * self.itemsize - 1) >> self._line_shift
+        return np.arange(first, last + 1, dtype=np.int64)
+
     def line_of(self, index: int) -> int:
         """Cache line holding flat element ``index``."""
         return (self.base + index * self.itemsize) >> self._line_shift
+
+    def lines_of(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`line_of` over an index array."""
+        return (self.base + np.asarray(indices, dtype=np.int64) * self.itemsize) >> self._line_shift
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SharedArray({self.name!r}, shape={self.shape}, dtype={self.data.dtype})"

@@ -15,6 +15,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.partition.graph import Graph
+from repro.sim.profile import PROFILER
 
 __all__ = ["spectral", "fiedler_vector"]
 
@@ -77,7 +78,8 @@ def spectral(graph: Graph, nparts: int, seed: int = 7) -> np.ndarray:
     part = np.zeros(graph.num_vertices, dtype=np.int64)
     if nparts == 1 or graph.num_vertices == 0:
         return part
-    _recurse(graph, np.arange(graph.num_vertices), 0, nparts, part, seed)
+    with PROFILER.section("partition"):
+        _recurse(graph, np.arange(graph.num_vertices), 0, nparts, part, seed)
     return part
 
 

@@ -141,16 +141,20 @@ class Process:
         "finished",
         "result",
         "end_event",
+        "internal",
         "_blocked_on",
     )
 
-    def __init__(self, engine: "Engine", gen: Generator, pid: int, name: str):
+    def __init__(self, engine: "Engine", gen: Generator, pid: int, name: str, internal: bool = False):
         self.engine = engine
         self.gen = gen
         self.pid = pid
         self.name = name
         self.finished = False
         self.result: Any = None
+        #: engine-spawned helper (all-of chains, any-of watchers); excluded
+        #: from the liveness count used for deadlock detection
+        self.internal = internal
         #: fires (with the process return value) when the generator returns
         self.end_event = Event(engine, name=f"end:{name}")
         self._blocked_on: Optional[str] = None
@@ -214,12 +218,14 @@ class Engine:
         except StopIteration as stop:
             proc.finished = True
             proc.result = stop.value
-            self._live -= 1
+            if not proc.internal:
+                self._live -= 1
             proc.end_event.fire(stop.value)
             return
         except BaseException as exc:
             proc.finished = True
-            self._live -= 1
+            if not proc.internal:
+                self._live -= 1
             self._error = exc
             raise
         self._dispatch(proc, request)
@@ -291,12 +297,13 @@ class Engine:
         helper.end_event._add_waiter(proc)
 
     def _spawn_internal(self, gen: Generator, name: str = "_helper") -> Process:
-        proc = Process(self, gen, pid=len(self._procs), name=name)
+        proc = Process(self, gen, pid=len(self._procs), name=name, internal=True)
         self._procs.append(proc)
-        # helpers do not count toward _live: they only exist while a real
-        # process is blocked on them, so they can never be the last runnable
-        # entity in a non-deadlocked simulation.
-        self._live += 1
+        # Helpers do not count toward _live: they only exist on behalf of a
+        # real process, so they can never be the last runnable entity in a
+        # non-deadlocked simulation — and any-of watchers for the *losing*
+        # events legitimately stay blocked forever after the race is decided,
+        # which must not read as a deadlock.
         self._schedule(0.0, proc, None)
         return proc
 
@@ -317,7 +324,7 @@ class Engine:
             self.now = time
             self._step(proc, value)
         if self._live > 0:
-            blocked = [p for p in self._procs if not p.finished]
+            blocked = [p for p in self._procs if not p.finished and not p.internal]
             names = ", ".join(f"{p.name}({p._blocked_on})" for p in blocked[:12])
             raise Deadlock(f"{len(blocked)} process(es) blocked forever: {names}")
         return self.now

@@ -36,8 +36,7 @@ def _check_invariants(machine: Machine) -> None:
     caches = machine.caches
     lines = {line for line in _LINES}
     for cache in caches:
-        for s in cache._sets.values():
-            lines.update(s)
+        lines.update(cache.lines())
     for line in lines:
         holders = {cpu for cpu, c in enumerate(caches) if c.contains(line)}
         sharers = directory.sharers_of(line)
@@ -68,15 +67,7 @@ class CoherenceMachine(RuleBasedStateMachine):
     def flush_one_cache(self, cpu):
         # flushing without telling the directory would break it, so model a
         # full invalidation instead: drop via the directory-visible path
-        cache = self.machine.caches[cpu]
-        for s in list(cache._sets.values()):
-            for line in list(s):
-                cache.drop(line)
-                entry = self.machine.directory._entries.get(line)
-                if entry is not None:
-                    entry.sharers.discard(cpu)
-                    if entry.owner == cpu:
-                        entry.owner = None
+        self.machine.directory.flush_cache(cpu)
 
     @invariant()
     def protocol_consistent(self):

@@ -107,3 +107,64 @@ def test_transaction_counter(machine):
     machine.directory.transaction(0, 42, False, 0.0)
     machine.directory.transaction(0, 42, False, 0.0)  # hit: not a dir txn
     assert machine.stats.directory_transactions == before + 1
+
+
+class TestWritebackCharge:
+    """A dirty victim's drain to home memory is billed, not dropped."""
+
+    @staticmethod
+    def _one_set_machine():
+        # one 2-way set: every line maps to it, evictions are immediate
+        return Machine(MachineConfig(nprocs=4, l2_bytes=2 * 128))
+
+    def test_dirty_eviction_charges_service_time(self):
+        dirty_m = self._one_set_machine()
+        clean_m = self._one_set_machine()
+        d, c = dirty_m.directory, clean_m.directory
+        for line in (0, 1):
+            d.transaction(0, line, True, 0.0)   # dirty residents
+            c.transaction(0, line, False, 0.0)  # clean residents
+        lat_dirty, kind_d = d.transaction(0, 2, False, 0.0)
+        lat_clean, kind_c = c.transaction(0, 2, False, 0.0)
+        assert kind_d == kind_c == "local"
+        assert lat_dirty == lat_clean + d._service_ns
+        assert dirty_m.stats.writebacks_charged == 1
+        assert clean_m.stats.writebacks_charged == 0
+
+    def test_remote_victim_home_counts_network_bytes(self):
+        def run(write_first: bool):
+            m = self._one_set_machine()
+            d = m.directory
+            # cpu2 (node 1) first-touches line 7's page -> homed on node 1
+            d.transaction(2, 7, False, 0.0)
+            d.transaction(0, 7, write_first, 0.0)
+            d.transaction(0, 8, False, 0.0)
+            d.transaction(0, 9, False, 0.0)  # evicts line 7, home remote
+            return m.stats.writebacks_charged, m.stats.network_bytes
+
+        wb_dirty, bytes_dirty = run(write_first=True)
+        wb_clean, bytes_clean = run(write_first=False)
+        assert wb_dirty == 1 and wb_clean == 0
+        # draining the dirty victim to its remote home moves one extra line
+        line_bytes = MachineConfig(nprocs=4).line_bytes
+        assert bytes_dirty == bytes_clean + line_bytes
+
+    def test_clean_eviction_charges_nothing(self):
+        m = self._one_set_machine()
+        d = m.directory
+        for line in (0, 1, 2, 3):  # read-only churn through the single set
+            d.transaction(0, line, False, 0.0)
+        assert m.stats.writebacks_charged == 0
+
+    def test_batch_path_bills_writebacks_identically(self):
+        import numpy as np
+
+        on = Machine(MachineConfig(nprocs=2, l2_bytes=8 * 128))
+        off = Machine(
+            MachineConfig(nprocs=2, l2_bytes=8 * 128, derived={"sas_batch": "off"})
+        )
+        lines = np.arange(64, dtype=np.int64)  # 8x the cache capacity
+        for m in (on, off):
+            m.directory.transaction_batch(0, lines, True, 0.0)
+            m.directory.transaction_batch(0, lines, True, 0.0)
+        assert on.stats.writebacks_charged == off.stats.writebacks_charged > 0

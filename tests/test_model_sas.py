@@ -259,3 +259,89 @@ class TestWorkQueue:
 
         with pytest.raises(ValueError):
             run_sas(program, 1)
+
+
+class TestBarrierStats:
+    def test_central_barrier_accumulates_sync_on_every_rank(self):
+        def program(ctx):
+            yield from ctx.compute(float(ctx.rank) * 500.0)  # skewed arrivals
+            yield from ctx.barrier(kind="central")
+            return ctx.now
+
+        res = run_sas(program, 4)
+        # early arrivals wait for the straggler: everyone books sync time
+        for rank in range(4):
+            assert res.stats.per_cpu[rank].sync_ns > 0.0
+        # rank 0 arrived first, so it waited longest
+        syncs = [res.stats.per_cpu[r].sync_ns for r in range(4)]
+        assert syncs[0] == max(syncs)
+
+    def test_central_barrier_sense_word_misses_are_coherence_misses(self):
+        """The release write invalidates every waiter's cached sense word;
+        their re-reads after the barrier are coherence (dirty/remote) misses
+        the directory must charge — the O(P) hot-spot the paper discusses."""
+
+        def program(ctx):
+            for _ in range(3):
+                yield from ctx.barrier(kind="central")
+            return None
+
+        res = run_sas(program, 4)
+        s = res.stats.summary()
+        assert s["invalidations"] > 0  # counter + sense-word ping-pong
+        assert s["dirty_misses"] + s["remote_misses"] > 0
+
+    def test_central_costs_more_than_tree(self):
+        def program(ctx):
+            for _ in range(4):
+                yield from ctx.barrier(kind=ctx.cfg.derived.get("bar_kind", "tree"))
+            return ctx.now
+
+        from repro.machine import MachineConfig
+
+        central = run_program(
+            "sas", program, 8,
+            config=MachineConfig(nprocs=8, derived={"bar_kind": "central"}),
+        )
+        tree = run_program(
+            "sas", program, 8,
+            config=MachineConfig(nprocs=8, derived={"bar_kind": "tree"}),
+        )
+        assert central.elapsed_ns > tree.elapsed_ns
+
+    def test_barrier_group_syncs_subgroup_only(self):
+        def program(ctx):
+            group = ctx.rank // 2  # pairs
+            yield from ctx.compute(1000.0 * (ctx.rank % 2))
+            yield from ctx.barrier_group(("pair", group), 2)
+            return ctx.now
+
+        res = run_sas(program, 4)
+        # within a pair both ranks leave together; sync was booked
+        assert res.rank_results[0] == res.rank_results[1]
+        assert res.rank_results[2] == res.rank_results[3]
+        assert res.stats.per_cpu[0].sync_ns > 0.0
+
+    def test_barrier_group_size_one_is_free(self):
+        def program(ctx):
+            yield from ctx.barrier_group("solo", 1)
+            return ctx.now
+
+        res = run_sas(program, 2)
+        assert res.rank_results == [0.0, 0.0]
+
+    def test_barrier_group_rejects_bad_size(self):
+        def program(ctx):
+            yield from ctx.barrier_group("bad", 0)
+
+        with pytest.raises(ValueError, match="group size"):
+            run_sas(program, 2)
+
+    def test_barrier_group_reusable_across_phases(self):
+        def program(ctx):
+            for _ in range(3):  # the state must reset between uses
+                yield from ctx.barrier_group("all", ctx.nprocs)
+            return ctx.now
+
+        res = run_sas(program, 4)
+        assert len(set(res.rank_results)) == 1

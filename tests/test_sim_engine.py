@@ -279,3 +279,52 @@ def test_nested_yield_from_composition():
     eng.run()
     assert proc.result == 4
     assert eng.now == 8
+
+
+def test_any_of_losing_watchers_do_not_deadlock():
+    """Internal any-of watcher helpers must not count toward liveness.
+
+    After an ``AnyOf`` race is decided, the watchers for the *losing* events
+    stay blocked forever.  If those helpers counted as live processes, the
+    run loop would raise :class:`Deadlock` even though every user process
+    finished — the regression this pins down.
+    """
+    eng = Engine()
+    evs = [eng.event(name=f"e{i}") for i in range(3)]
+
+    def racer():
+        idx, value = yield AnyOf(evs)
+        return idx
+
+    def firer():
+        yield Delay(5)
+        evs[1].fire("won")
+        # evs[0] and evs[2] are never fired: their watchers stay blocked
+
+    proc = eng.spawn(racer())
+    eng.spawn(firer())
+    eng.run()  # must complete without Deadlock
+    assert proc.result == 1
+    assert eng.now == 5
+
+
+def test_sequential_any_of_races_accumulate_stale_watchers():
+    """Many decided races leave many dead watchers; still no false deadlock."""
+    eng = Engine()
+
+    def driver():
+        for i in range(10):
+            winner = eng.event(name=f"win{i}")
+            loser = eng.event(name=f"lose{i}")
+            eng.spawn(_fire_later(winner))
+            idx, _ = yield AnyOf([loser, winner])
+            assert idx == 1
+        return "done"
+
+    def _fire_later(ev):
+        yield Delay(1)
+        ev.fire()
+
+    proc = eng.spawn(driver())
+    eng.run()
+    assert proc.result == "done"

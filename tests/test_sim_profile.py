@@ -1,0 +1,159 @@
+"""Unit tests for the host-time profiler and its instrumentation hooks."""
+
+import pytest
+
+from repro.sim import Delay, Engine
+from repro.sim.profile import PROFILER, Profiler, profile_generator, profiled
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_profiler():
+    """Tests share the process-global PROFILER; leave it as found."""
+    PROFILER.reset().disable()
+    yield
+    PROFILER.reset().disable()
+
+
+class TestProfiler:
+    def test_disabled_section_records_nothing(self):
+        p = Profiler()
+        with p.section("x"):
+            pass
+        assert p.seconds("x") == 0.0
+        assert p.calls("x") == 0
+
+    def test_enabled_section_records_time_and_calls(self):
+        p = Profiler().enable()
+        for _ in range(3):
+            with p.section("x"):
+                sum(range(1000))
+        assert p.seconds("x") > 0.0
+        assert p.calls("x") == 3
+
+    def test_nested_same_bucket_counts_once(self):
+        p = Profiler().enable()
+        with p.section("mesh"):
+            with p.section("mesh"):  # driver + primitive: no double-count
+                pass
+        assert p.calls("mesh") == 1
+
+    def test_nested_different_buckets_both_record(self):
+        p = Profiler().enable()
+        with p.section("outer"):
+            with p.section("inner"):
+                pass
+        assert p.calls("outer") == 1
+        assert p.calls("inner") == 1
+
+    def test_add_and_summary_sorted_by_cost(self):
+        p = Profiler().enable()
+        p.add("cheap", 0.1)
+        p.add("dear", 2.0)
+        p.add("cheap", 0.2, calls=4)
+        summary = p.summary()
+        assert list(summary) == ["dear", "cheap"]
+        assert summary["cheap"]["seconds"] == pytest.approx(0.3)
+        assert summary["cheap"]["calls"] == 5
+
+    def test_reset_clears_everything(self):
+        p = Profiler().enable()
+        p.add("x", 1.0)
+        p.reset()
+        assert p.summary() == {}
+
+    def test_report_contains_sections(self):
+        p = Profiler().enable()
+        p.add("cache", 0.5)
+        text = p.report()
+        assert "cache" in text and "total" in text
+
+    def test_section_exception_still_books_time(self):
+        p = Profiler().enable()
+        with pytest.raises(RuntimeError):
+            with p.section("x"):
+                raise RuntimeError("boom")
+        assert p.calls("x") == 1
+
+
+class TestProfiledDecorator:
+    def test_bills_calls_when_enabled_only(self):
+        @profiled("work")
+        def f(a, b):
+            return a + b
+
+        assert f(1, 2) == 3
+        assert PROFILER.calls("work") == 0
+        PROFILER.enable()
+        assert f(3, 4) == 7
+        assert PROFILER.calls("work") == 1
+
+
+class TestProfileGenerator:
+    def test_transparent_passthrough(self):
+        """Wrapping must not change yielded requests, sent values or result."""
+
+        def worker():
+            got = yield Delay(5)
+            assert got is None
+            yield Delay(7)
+            return "done"
+
+        PROFILER.enable()
+        eng = Engine()
+        proc = eng.spawn(profile_generator("net", worker()))
+        eng.run()
+        assert proc.result == "done"
+        assert eng.now == 12
+        assert PROFILER.calls("net") == 3  # two resumptions + StopIteration
+
+    def test_bills_only_own_resumptions(self):
+        """Host time while *suspended* (other processes running) is not billed."""
+
+        def spinner():  # burns host time in another process
+            for _ in range(3):
+                sum(range(20000))
+                yield Delay(1)
+
+        def idler():
+            yield Delay(10)  # suspended the whole time spinner runs
+            return None
+
+        PROFILER.enable()
+        eng = Engine()
+        eng.spawn(spinner())
+        eng.spawn(profile_generator("idle", idler()))
+        eng.run()
+        spin_host = sum(
+            s for name, s in PROFILER._seconds.items() if name == "idle"
+        )
+        # the idler did ~nothing: its bucket must be tiny even though the
+        # spinner burned real host time while the idler sat suspended
+        assert spin_host < 0.05
+
+    def test_network_transfer_wraps_only_when_enabled(self):
+        from repro.machine import Machine, MachineConfig
+
+        m = Machine(MachineConfig(nprocs=4))
+        gen_plain = m.network.transfer(0, 1, 1024)
+        PROFILER.enable()
+        gen_wrapped = m.network.transfer(0, 1, 1024)
+        assert gen_plain.__class__.__name__ == "generator"
+        assert gen_wrapped is not gen_plain
+
+
+class TestRunnerIntegration:
+    def test_sas_run_populates_subsystem_buckets(self):
+        import numpy as np
+
+        from repro.models.registry import run_program
+
+        def program(ctx):
+            x = ctx.shalloc("x", (4096,), np.float64)
+            yield from ctx.stouch(x, write=True)
+            yield from ctx.barrier()
+            yield from ctx.stouch(x, write=False)
+
+        PROFILER.enable()
+        run_program("sas", program, 2)
+        assert PROFILER.seconds("directory") > 0.0
+        assert PROFILER.calls("cache") > 0
