@@ -3,6 +3,8 @@
 Commands
 --------
 ``run``     one (app, model, P) configuration, with breakdown
+``trace``   traced run: event summary, trace export, optional sync check
+``comm-matrix`` per-pair communication matrices across the models
 ``sweep``   app × model × P sweep with speedup table and ASCII chart
 ``micro``   the machine microbenchmarks (latency ladder, messaging)
 ``bench-sas`` host-time benchmark of the batched SAS memory pipeline
@@ -11,7 +13,10 @@ Commands
 ``paper``   regenerate every experiment table/figure (R-F*/R-T*)
 
 ``run --profile`` enables the wall-clock profiler and prints a host-time
-breakdown by simulator subsystem after the run.
+breakdown by simulator subsystem after the run.  ``run --trace [PATH]``
+records structured communication events (simulated time is bit-identical
+with tracing on or off) and optionally exports them; ``--check-sync``
+runs the trace-based synchronization checker on the event stream.
 """
 
 from __future__ import annotations
@@ -63,15 +68,48 @@ def _workload(app: str, size: str):
     }[size]
 
 
+def _resolve_app_model(args: argparse.Namespace) -> tuple:
+    """Accept app/model positionally or as ``--app``/``--model`` flags."""
+    app = args.app or getattr(args, "app_pos", None)
+    model = args.model or getattr(args, "model_pos", None)
+    if app is None:
+        raise SystemExit("error: app is required (positionally or via --app)")
+    return app, model
+
+
+def _export_trace(events, path: str, nprocs: int) -> None:
+    """Write ``events`` to ``path`` (.jsonl => compact JSONL, else Perfetto)."""
+    from repro.obs import to_jsonl, write_perfetto
+
+    if path.endswith(".jsonl"):
+        to_jsonl(events, path)
+        print(f"  wrote {path} ({len(events)} events, JSONL)")
+    else:
+        n = write_perfetto(events, path, nprocs)
+        print(f"  wrote {path} ({n} trace_event entries, Perfetto JSON)")
+
+
+def _print_sync_check(events, nprocs: int) -> int:
+    from repro.obs import check_sync, format_violations
+
+    violations = check_sync(events, nprocs)
+    print(format_violations(violations))
+    return 1 if violations else 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    wl = _workload(args.app, args.size)
+    app, model = _resolve_app_model(args)
+    if model is None:
+        raise SystemExit("error: model is required (positionally or via --model)")
+    wl = _workload(app, args.size)
     if args.profile:
         from repro.harness.profile import PROFILER
 
         PROFILER.reset().enable()
-    result = run_app(args.app, args.model, args.nprocs, wl, placement=args.placement)
+    traced = bool(args.trace) or args.check_sync
+    result = run_app(app, model, args.nprocs, wl, placement=args.placement, trace=traced)
     agg = aggregate_breakdown(result)
-    print(f"{args.app} under {args.model} on {args.nprocs} CPUs ({args.size} workload)")
+    print(f"{app} under {model} on {args.nprocs} CPUs ({args.size} workload)")
     print(f"  simulated time : {result.elapsed_ms:.3f} ms")
     print(f"  checksum       : {result.rank_results[0]}")
     print(
@@ -83,12 +121,87 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"  traffic        : {stats['messages']} msgs / {stats['puts']} puts /"
         f" {stats['remote_misses'] + stats['dirty_misses']} coherence misses"
     )
+    rc = 0
+    if traced:
+        events = result.events or []
+        kinds = sorted({ev.kind for ev in events})
+        print(f"  trace          : {len(events)} events ({', '.join(kinds)})")
+        if isinstance(args.trace, str):
+            _export_trace(events, args.trace, args.nprocs)
+        if args.check_sync:
+            rc = _print_sync_check(events, args.nprocs)
     if args.profile:
         from repro.harness.profile import PROFILER
 
         PROFILER.disable()
         print()
         print(PROFILER.report())
+    return rc
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Traced run with per-kind summary, export, and optional sync check."""
+    from repro.obs import phase_breakdown, summarize
+
+    app, model = _resolve_app_model(args)
+    if model is None:
+        raise SystemExit("error: model is required (positionally or via --model)")
+    wl = _workload(app, args.size)
+    result = run_app(app, model, args.nprocs, wl, trace=True)
+    events = result.events or []
+    print(f"{app} under {model} on {args.nprocs} CPUs ({args.size} workload): "
+          f"{len(events)} events in {result.elapsed_ms:.3f} simulated ms")
+    summary = summarize(events)
+    rows = [
+        [kind, int(row["count"]), int(row["bytes"]), row["dur_ns"] / 1e3]
+        for kind, row in sorted(summary.items())
+    ]
+    print(format_table(["kind", "count", "bytes", "dur_us"], rows))
+    if args.phases:
+        print()
+        breakdown = phase_breakdown(events)
+        prows = [
+            [name, int(row["events"]), int(row["bytes"])]
+            for name, row in sorted(breakdown.items())
+        ]
+        print(format_table(["phase", "events", "bytes"], prows, title="per-phase traffic"))
+    if args.output:
+        _export_trace(events, args.output, args.nprocs)
+    if args.check_sync:
+        return _print_sync_check(events, args.nprocs)
+    return 0
+
+
+def cmd_comm_matrix(args: argparse.Namespace) -> int:
+    """Per-pair traffic matrices for each model at one (app, P)."""
+    from repro.obs import comm_matrix, format_matrix, sas_home_matrix
+
+    app, _ = _resolve_app_model(args)
+    wl = _workload(app, args.size)
+    cfg = MachineConfig(nprocs=args.nprocs)
+    models = (args.model,) if args.model else _MODELS
+    for model in models:
+        result = run_app(app, model, args.nprocs, wl, trace=True)
+        events = result.events or []
+        print(f"{app} under {model} on {args.nprocs} CPUs ({args.size} workload)")
+        if model == "sas":
+            # CC-SAS communication is the coherence traffic: rank x home-node
+            # bytes pulled through the protocol (rank-to-rank flow is empty
+            # by construction under a shared address space)
+            m = sas_home_matrix(events, args.nprocs, cfg.nnodes, cfg.line_bytes)
+            units = args.units
+            if units == "messages":  # one line fetch ~ one protocol message
+                m = m // cfg.line_bytes
+                units = "line fetches"
+            print(f"  coherence fetch matrix, {units} (rank x home node):")
+            print(format_matrix(m, row_label="rank", col_label="home"))
+        else:
+            units = args.units
+            m = comm_matrix(events, args.nprocs, units=units)
+            print(f"  flow matrix, {units} (src rank x dst rank):")
+            print(format_matrix(m))
+        print(f"  total: {int(m.sum())} {units}")
+        print()
     return 0
 
 
@@ -218,15 +331,47 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_app_model(p, need_model=True):
+        """app/model as positionals or flags (``run adapt mpi`` == ``run --app adapt --model mpi``)."""
+        p.add_argument("app_pos", nargs="?", choices=_APPS, metavar="app",
+                       help="application (or use --app)")
+        if need_model:
+            p.add_argument("model_pos", nargs="?", choices=_MODELS, metavar="model",
+                           help="programming model (or use --model)")
+        p.add_argument("--app", choices=_APPS, help=argparse.SUPPRESS)
+        p.add_argument("--model", choices=_MODELS,
+                       help=argparse.SUPPRESS if need_model else "restrict to one model")
+        p.add_argument("-n", "-p", "--nprocs", type=int, default=8)
+
     p = sub.add_parser("run", help="run one configuration")
-    p.add_argument("app", choices=_APPS)
-    p.add_argument("model", choices=_MODELS)
-    p.add_argument("-n", "--nprocs", type=int, default=8)
+    _add_app_model(p)
     p.add_argument("-s", "--size", choices=("small", "medium", "large"), default="medium")
     p.add_argument("--placement", default="first-touch")
     p.add_argument("--profile", action="store_true",
                    help="measure host time per simulator subsystem")
+    p.add_argument("--trace", nargs="?", const=True, default=None, metavar="PATH",
+                   help="record communication events; with PATH, export them "
+                        "(.jsonl => JSONL, otherwise Perfetto trace_event JSON)")
+    p.add_argument("--check-sync", action="store_true",
+                   help="run the trace-based synchronization checker")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("trace", help="traced run: event summary + export")
+    _add_app_model(p)
+    p.add_argument("-s", "--size", choices=("small", "medium", "large"), default="small")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="export the trace (.jsonl => JSONL, else Perfetto JSON)")
+    p.add_argument("--phases", action="store_true",
+                   help="print the per-adaptation-phase traffic breakdown")
+    p.add_argument("--check-sync", action="store_true",
+                   help="run the trace-based synchronization checker")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("comm-matrix", help="per-pair communication matrices")
+    _add_app_model(p, need_model=False)
+    p.add_argument("-s", "--size", choices=("small", "medium", "large"), default="small")
+    p.add_argument("--units", choices=("bytes", "messages"), default="bytes")
+    p.set_defaults(fn=cmd_comm_matrix)
 
     p = sub.add_parser("sweep", help="app x model x P sweep")
     p.add_argument("app", choices=_APPS)

@@ -19,7 +19,7 @@ __all__ = ["APPS", "SweepRow", "run_app", "sweep"]
 _script_cache: Dict[Any, Any] = {}
 
 
-def _adapt_runner(model: str, nprocs: int, workload, placement: str) -> ProgramResult:
+def _adapt_runner(model: str, nprocs: int, workload, placement: str, trace: bool = False) -> ProgramResult:
     from repro.apps.adapt import ADAPT_PROGRAMS, AdaptConfig, build_script
 
     cfg = workload or AdaptConfig()
@@ -28,24 +28,24 @@ def _adapt_runner(model: str, nprocs: int, workload, placement: str) -> ProgramR
     if script is None:
         script = build_script(cfg, nprocs)
         _script_cache[key] = script
-    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement)
+    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace)
 
 
-def _nbody_runner(model: str, nprocs: int, workload, placement: str) -> ProgramResult:
+def _nbody_runner(model: str, nprocs: int, workload, placement: str, trace: bool = False) -> ProgramResult:
     from repro.apps.nbody import NBODY_PROGRAMS, NBodyConfig
 
     cfg = workload or NBodyConfig()
-    return run_program(model, NBODY_PROGRAMS[model], nprocs, cfg, placement=placement)
+    return run_program(model, NBODY_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace)
 
 
-def _jacobi_runner(model: str, nprocs: int, workload, placement: str) -> ProgramResult:
+def _jacobi_runner(model: str, nprocs: int, workload, placement: str, trace: bool = False) -> ProgramResult:
     from repro.apps.jacobi import JACOBI_PROGRAMS, JacobiConfig
 
     cfg = workload or JacobiConfig()
-    return run_program(model, JACOBI_PROGRAMS[model], nprocs, cfg, placement=placement)
+    return run_program(model, JACOBI_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace)
 
 
-def _adapt3d_runner(model: str, nprocs: int, workload, placement: str) -> ProgramResult:
+def _adapt3d_runner(model: str, nprocs: int, workload, placement: str, trace: bool = False) -> ProgramResult:
     from repro.apps.adapt import ADAPT_PROGRAMS
     from repro.apps.adapt3d import Adapt3DConfig, build_script3d
 
@@ -55,7 +55,7 @@ def _adapt3d_runner(model: str, nprocs: int, workload, placement: str) -> Progra
     if script is None:
         script = build_script3d(cfg, nprocs)
         _script_cache[key] = script
-    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement)
+    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace)
 
 
 APPS = {
@@ -72,13 +72,18 @@ def run_app(
     nprocs: int,
     workload: Any = None,
     placement: str = "first-touch",
+    trace: bool = False,
 ) -> ProgramResult:
-    """Run one (app, model, nprocs) configuration on a fresh machine."""
+    """Run one (app, model, nprocs) configuration on a fresh machine.
+
+    ``trace=True`` records structured communication events (returned on
+    ``ProgramResult.events``) without changing simulated time or results.
+    """
     try:
         runner = APPS[app]
     except KeyError:
         raise ValueError(f"unknown app {app!r}; choose from {sorted(APPS)}") from None
-    return runner(model, nprocs, workload, placement)
+    return runner(model, nprocs, workload, placement, trace=trace)
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,7 @@ from repro.machine.config import MachineConfig
 from repro.machine.memory import MemorySystem
 from repro.machine.stats import MachineStats
 from repro.machine.topology import Topology
+from repro.obs.events import EventLog
 from repro.sim.profile import PROFILER
 
 __all__ = ["Directory", "TRANSACTION_KINDS"]
@@ -73,12 +74,14 @@ class Directory:
         memory: MemorySystem,
         caches: List[CacheModel],
         stats: MachineStats,
+        obs: Optional[EventLog] = None,
     ):
         self.config = config
         self.topology = topology
         self.memory = memory
         self.caches = caches
         self.stats = stats
+        self.obs = obs if obs is not None else EventLog()
         self._busy_until: List[float] = [0.0] * config.nnodes
         self._service_ns = config.line_bytes / config.mem_bandwidth_bpns
         # line-indexed protocol state, grown on demand (the address space is
@@ -159,6 +162,22 @@ class Directory:
         ``"remote"``, ``"dirty"`` and drives the per-CPU miss counters kept
         by the caller.
         """
+        obs = self.obs
+        if obs.enabled and obs.coherence_detail:
+            latency, kind = self._transaction(cpu, line, write, now_ns)
+            home = self.memory.home_of_line(
+                line, self.config.line_bytes, self.config.node_of_cpu(cpu)
+            )
+            obs.emit(
+                "coherence", now_ns, cpu, home,
+                self.config.line_bytes if kind in ("local", "remote", "dirty") else 0,
+                dur=latency,
+                attrs={"tx": kind, "line": int(line), "write": bool(write)},
+            )
+            return latency, kind
+        return self._transaction(cpu, line, write, now_ns)
+
+    def _transaction(self, cpu: int, line: int, write: bool, now_ns: float) -> Tuple[float, str]:
         cfg = self.config
         cache = self.caches[cpu]
         node = cfg.node_of_cpu(cpu)

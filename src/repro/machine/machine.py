@@ -18,6 +18,7 @@ from repro.machine.network import Network
 from repro.machine.node import Node, build_nodes
 from repro.machine.stats import MachineStats
 from repro.machine.topology import Topology
+from repro.obs.events import EventLog
 from repro.sim.engine import Engine, Process
 from repro.sim.trace import Tracer
 
@@ -37,7 +38,8 @@ class Machine:
         self.engine = Engine()
         self.topology = Topology(self.config)
         self.stats = MachineStats.for_nprocs(self.config.nprocs)
-        self.network = Network(self.engine, self.topology, self.stats)
+        self.obs = EventLog()
+        self.network = Network(self.engine, self.topology, self.stats, obs=self.obs)
         self.memory = MemorySystem(self.config, policy=placement)
         self.caches: List[CacheModel] = [
             CacheModel(
@@ -49,7 +51,8 @@ class Machine:
             for cpu in range(self.config.nprocs)
         ]
         self.directory = Directory(
-            self.config, self.topology, self.memory, self.caches, self.stats
+            self.config, self.topology, self.memory, self.caches, self.stats,
+            obs=self.obs,
         )
         self.nodes: List[Node] = build_nodes(self.config)
         self.tracer = Tracer(enabled=trace)

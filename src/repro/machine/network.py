@@ -18,9 +18,12 @@ from __future__ import annotations
 
 from typing import Generator, List
 
+from typing import Optional
+
 from repro.machine.config import MachineConfig
 from repro.machine.stats import MachineStats
 from repro.machine.topology import Topology
+from repro.obs.events import EventLog
 from repro.sim.engine import Delay, Engine
 from repro.sim.profile import PROFILER, profile_generator
 from repro.sim.resources import Resource
@@ -31,11 +34,18 @@ __all__ = ["Network"]
 class Network:
     """The machine's interconnect: one FIFO resource per directed link."""
 
-    def __init__(self, engine: Engine, topology: Topology, stats: MachineStats):
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        stats: MachineStats,
+        obs: Optional[EventLog] = None,
+    ):
         self.engine = engine
         self.topology = topology
         self.config: MachineConfig = topology.config
         self.stats = stats
+        self.obs = obs if obs is not None else EventLog()
         self.link_resources: List[Resource] = [
             Resource(engine, capacity=1, name=repr(link))
             for link in topology.links
@@ -68,8 +78,14 @@ class Network:
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
         self.stats.network_messages += 1
+        t0 = self.engine.now if self.obs.enabled else 0.0
         if src_node == dst_node:
             yield Delay(nbytes / self.config.intra_node_copy_bpns)
+            if self.obs.enabled:
+                self.obs.emit(
+                    "net", t0, src_node, dst_node, nbytes,
+                    dur=self.engine.now - t0,
+                )
             return
         self.stats.network_bytes += nbytes
         route = self.topology.route(src_node, dst_node)
@@ -88,6 +104,10 @@ class Network:
         finally:
             for res in reversed(held):
                 res.release()
+        if self.obs.enabled:
+            self.obs.emit(
+                "net", t0, src_node, dst_node, nbytes, dur=self.engine.now - t0
+            )
 
     def link_utilisations(self) -> List[float]:
         """Per-link utilisation over the run so far (diagnostics)."""

@@ -32,6 +32,7 @@ class ProgramResult:
     rank_results: List[Any]
     stats: "object"  # MachineStats
     phase_ns: Dict[str, float] = field(default_factory=dict)
+    events: Optional[List[Any]] = None  # obs.Event stream when traced
 
     @property
     def elapsed_ms(self) -> float:
@@ -51,6 +52,7 @@ class BaseContext:
         self.machine = machine
         self.rank = rank
         self.nprocs = nprocs
+        self._obs = machine.obs
         self.stats: CpuStats = machine.stats.per_cpu[rank]
         self.node = machine.config.node_of_cpu(rank)
         self._phase_start: Optional[float] = None
@@ -103,6 +105,12 @@ class BaseContext:
             self.phase_ns[self._phase_name] = (
                 self.phase_ns.get(self._phase_name, 0.0) + self.now - self._phase_start
             )
+            if self._obs.enabled:
+                self._obs.emit(
+                    "phase", self._phase_start, self.rank,
+                    dur=self.now - self._phase_start,
+                    attrs={"name": self._phase_name},
+                )
         self._phase_name = None
         self._phase_start = None
 

@@ -20,6 +20,7 @@ collectives charge *comm*, as the breakdown tables expect.
 
 from __future__ import annotations
 
+import functools
 import operator
 from typing import Any, Callable, Generator, List, Optional
 
@@ -43,6 +44,36 @@ def _resolve_op(op: Optional[Callable]) -> Callable:
     return operator.add if op is None else op
 
 
+def _observed(op: str):
+    """Wrap a collective so it emits one ``collective`` event when traced.
+
+    Works for both :class:`MpiContext` and :class:`MpiComm` (the latter
+    reports its parent's *world* rank so one stream covers all groups).
+    Nested building blocks (e.g. the reduce+bcast inside allreduce) emit
+    their own events too — the trace shows the algorithm's structure.
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(ctx, *args, **kwargs) -> Generator:
+            obs = getattr(ctx, "_obs", None)
+            if obs is None or not obs.enabled:
+                result = yield from fn(ctx, *args, **kwargs)
+                return result
+            t0 = ctx.now
+            result = yield from fn(ctx, *args, **kwargs)
+            obs.emit(
+                "collective", t0, getattr(ctx, "parent", ctx).rank,
+                dur=ctx.now - t0, attrs={"op": op, "model": "mpi"},
+            )
+            return result
+
+        return wrapper
+
+    return deco
+
+
+@_observed("barrier")
 def barrier(ctx) -> Generator:
     """Dissemination barrier; elapsed time accounted as synchronisation."""
     n = ctx.nprocs
@@ -61,6 +92,7 @@ def barrier(ctx) -> Generator:
         ctx._charge_category = None
 
 
+@_observed("bcast")
 def bcast(ctx, payload: Any, root: int = 0) -> Generator:
     """Binomial-tree broadcast; every rank returns the payload."""
     n = ctx.nprocs
@@ -84,6 +116,7 @@ def bcast(ctx, payload: Any, root: int = 0) -> Generator:
     return payload
 
 
+@_observed("reduce")
 def reduce(ctx, value: Any, op: Optional[Callable] = None, root: int = 0) -> Generator:
     """Binomial-tree reduction; the result is returned at ``root`` only."""
     n = ctx.nprocs
@@ -107,6 +140,7 @@ def reduce(ctx, value: Any, op: Optional[Callable] = None, root: int = 0) -> Gen
     return result if ctx.rank == root else None
 
 
+@_observed("allreduce")
 def allreduce(ctx, value: Any, op: Optional[Callable] = None) -> Generator:
     """Reduce to rank 0 then broadcast; every rank returns the result."""
     partial = yield from reduce(ctx, value, op, root=0)
@@ -114,6 +148,7 @@ def allreduce(ctx, value: Any, op: Optional[Callable] = None) -> Generator:
     return result
 
 
+@_observed("gather")
 def gather(ctx, value: Any, root: int = 0) -> Generator:
     """Binomial gather; ``root`` returns the rank-ordered list."""
     n = ctx.nprocs
@@ -138,6 +173,7 @@ def gather(ctx, value: Any, root: int = 0) -> Generator:
     return None
 
 
+@_observed("allgather")
 def allgather(ctx, value: Any) -> Generator:
     """Gather to rank 0, then broadcast the assembled list."""
     collected = yield from gather(ctx, value, root=0)
@@ -145,6 +181,7 @@ def allgather(ctx, value: Any) -> Generator:
     return result
 
 
+@_observed("scatter")
 def scatter(ctx, values: Optional[List[Any]], root: int = 0) -> Generator:
     """Root sends element ``i`` to rank ``i``; returns the local element."""
     n = ctx.nprocs
@@ -165,6 +202,7 @@ def scatter(ctx, values: Optional[List[Any]], root: int = 0) -> Generator:
     return result
 
 
+@_observed("alltoall")
 def alltoall(ctx, values: List[Any]) -> Generator:
     """Personalised all-to-all via ring shifts; returns received list."""
     n = ctx.nprocs
@@ -181,6 +219,7 @@ def alltoall(ctx, values: List[Any]) -> Generator:
     return received
 
 
+@_observed("scan")
 def scan(ctx, value: Any, op: Optional[Callable] = None) -> Generator:
     """Inclusive prefix scan along the rank chain."""
     fn = _resolve_op(op)
@@ -194,6 +233,7 @@ def scan(ctx, value: Any, op: Optional[Callable] = None) -> Generator:
     return result
 
 
+@_observed("reduce_scatter")
 def reduce_scatter(ctx, values: List[Any], op: Optional[Callable] = None) -> Generator:
     """Element-wise reduce of per-destination contributions, scattered.
 

@@ -46,6 +46,7 @@ class MpiComm:
         self.stats = parent.stats
         self.machine = parent.machine
         self.cfg = parent.cfg
+        self._obs = parent._obs
 
     # -- plumbing the collectives module expects --------------------------------
 

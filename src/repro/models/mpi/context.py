@@ -153,6 +153,7 @@ class MpiContext(BaseContext):
         if not 0 <= dest < self.nprocs:
             raise ValueError(f"bad destination rank {dest}")
         size = nbytes_of(payload) if nbytes is None else int(nbytes)
+        t0 = self.now
         self.stats.msgs_sent += 1
         self.stats.bytes_sent += size
         yield from self.charged_delay("comm", self.cfg.mpi_os_ns)
@@ -175,6 +176,11 @@ class MpiContext(BaseContext):
             self.machine.engine.spawn(
                 self._rendezvous_transfer(msg, completion),
                 name=f"mpi-rdv:{self.rank}->{dest}",
+            )
+        if self._obs.enabled:
+            self._obs.emit(
+                "msg_send", t0, self.rank, dest, size, dur=self.now - t0,
+                attrs={"tag": tag, "eager": eager, "coll": tag >= _COLL_TAG_BASE},
             )
         return Request("send", completion, self)
 
@@ -217,7 +223,14 @@ class MpiContext(BaseContext):
         status.source = msg.src
         status.tag = msg.tag
         status.nbytes = msg.nbytes
+        t0 = self.now
         yield from self.charged_delay("comm", msg.nbytes / self.cfg.mpi_copy_bpns)
+        if self._obs.enabled:
+            # flow convention: src = sender, dst = the receiving rank (self)
+            self._obs.emit(
+                "msg_recv", t0, msg.src, self.rank, msg.nbytes,
+                dur=self.now - t0, attrs={"tag": msg.tag},
+            )
         return msg.payload
 
     def sendrecv(

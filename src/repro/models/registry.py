@@ -49,11 +49,16 @@ def run_program(
     config: Optional[MachineConfig] = None,
     placement: str = "first-touch",
     machine: Optional[Machine] = None,
+    trace: bool = False,
 ) -> ProgramResult:
     """Run ``program(ctx, *args)`` on every rank under ``model``.
 
     ``program`` must be a generator function taking the model context as its
     first argument.  Extra ``args`` are passed through to every rank.
+    With ``trace=True``, the machine's :class:`repro.obs.events.EventLog`
+    records structured communication events; they come back on
+    ``ProgramResult.events`` (simulated times and results are bit-identical
+    to an untraced run).
     """
     if machine is None:
         cfg = config or MachineConfig(nprocs=nprocs)
@@ -62,6 +67,8 @@ def run_program(
         machine = Machine(cfg, placement=placement)
     elif machine.nprocs < nprocs:
         raise ValueError(f"machine has {machine.nprocs} CPUs < nprocs={nprocs}")
+    if trace:
+        machine.obs.enabled = True
     contexts = make_contexts(machine, model, nprocs)
     for rank, ctx in enumerate(contexts):
         machine.spawn_rank(rank, program(ctx, *args))
@@ -78,4 +85,5 @@ def run_program(
         rank_results=machine.results(),
         stats=machine.stats,
         phase_ns=phase_ns,
+        events=machine.obs.events if machine.obs.enabled else None,
     )

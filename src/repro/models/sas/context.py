@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.machine.directory import TRANSACTION_KINDS
 from repro.machine.machine import Machine
 from repro.models.base import BaseContext
 from repro.models.sas.shared import SharedArray
@@ -39,6 +40,9 @@ class SasWorld:
         self.barrier_words = SharedArray("__barrier", machine, (2,), np.int64, place=0)
         self._barrier_count = 0
         self._barrier_release: Event = machine.engine.event(name="sas-barrier")
+        #: completed global-barrier episodes (captured at arrival by tracing)
+        self.barrier_epoch = 0
+        self._group_epochs: Dict[Any, int] = {}
         self._reduce_slots: List[Any] = [None] * nprocs
         self._reduce_scratch: Dict[int, SharedArray] = {}
         self._reduce_result: Any = None
@@ -91,7 +95,14 @@ class SasContext(BaseContext):
 
     # -- charged memory access ---------------------------------------------------
 
-    def _touch_lines(self, lines, write: bool, coherence_only: bool = False) -> float:
+    def _touch_lines(
+        self,
+        lines,
+        write: bool,
+        coherence_only: bool = False,
+        label: Optional[str] = None,
+        span: Optional[tuple] = None,
+    ) -> float:
         """Run lines through cache+directory; returns total latency.
 
         With ``coherence_only=True`` (application data accesses), hits and
@@ -101,11 +112,18 @@ class SasContext(BaseContext):
         only the *coherence* costs (remote, dirty, upgrade) remain as the
         SAS model's distinguishing overhead.  Synchronisation primitives
         (locks, barriers, work queues) always charge the full latency.
+
+        When tracing, one aggregated ``coherence`` event is emitted per
+        call (``label``/``span`` name the touched array and element range);
+        the scalar protocol path is used so per-line kinds and home nodes
+        can be collected — it is bit-identical in simulated nanoseconds to
+        the batched path, so traced and untraced runs agree exactly.
         """
         directory = self.machine.directory
         stats = self.stats
         now = self.now
-        if isinstance(lines, np.ndarray) and lines.size >= _BATCH_MIN:
+        traced = self._obs.enabled
+        if not traced and isinstance(lines, np.ndarray) and lines.size >= _BATCH_MIN:
             total, counts = directory.transaction_batch(
                 self.rank, lines, write, now, coherence_only=coherence_only
             )
@@ -115,6 +133,12 @@ class SasContext(BaseContext):
             stats.dirty_misses += counts["dirty"]
             stats.lines_touched += int(lines.size)
             return total
+        if traced:
+            kind_counts = dict.fromkeys(TRANSACTION_KINDS, 0)
+            homes: Dict[str, int] = {}
+            memory = self.machine.memory
+            line_bytes = self.cfg.line_bytes
+            nlines = 0
         total = 0.0
         for line in lines:
             latency, kind = directory.transaction(self.rank, int(line), write, now + total)
@@ -134,6 +158,29 @@ class SasContext(BaseContext):
                 stats.remote_misses += 1
             total += latency
             stats.lines_touched += 1
+            if traced:
+                nlines += 1
+                kind_counts[kind] += 1
+                if kind == "remote" or kind == "dirty":
+                    # idempotent after the transaction assigned the home
+                    home = memory.home_of_line(int(line), line_bytes, self.node)
+                    key = str(home)
+                    homes[key] = homes.get(key, 0) + 1
+        if traced:
+            moved = kind_counts["remote"] + kind_counts["dirty"]
+            attrs: Dict[str, Any] = {"write": bool(write), "lines": nlines}
+            if label is not None:
+                attrs["label"] = label
+            if span is not None:
+                attrs["lo"] = int(span[0])
+                attrs["hi"] = int(span[1])
+            attrs.update(kind_counts)
+            if homes:
+                attrs["homes"] = homes
+            self._obs.emit(
+                "coherence", now, self.rank, -1, moved * self.cfg.line_bytes,
+                dur=total, attrs=attrs,
+            )
         return total
 
     def stouch(self, arr: SharedArray, lo: int = 0, hi: Optional[int] = None, write: bool = False) -> Generator:
@@ -151,7 +198,10 @@ class SasContext(BaseContext):
             self.stats.stores += hi - lo
         else:
             self.stats.loads += hi - lo
-        ns = self._touch_lines(arr.line_array(lo, hi), write, coherence_only=True)
+        ns = self._touch_lines(
+            arr.line_array(lo, hi), write, coherence_only=True,
+            label=arr.name, span=(lo, hi),
+        )
         yield from self.charged_delay("stall", ns)
 
     def stouch_idx(self, arr: SharedArray, indices: Sequence[int], write: bool = False) -> Generator:
@@ -168,7 +218,12 @@ class SasContext(BaseContext):
             keep[0] = True
             np.not_equal(lines[1:], lines[:-1], out=keep[1:])
             lines = lines[keep]
-        ns = self._touch_lines(lines, write, coherence_only=True)
+        span = (
+            (int(indices.min()), int(indices.max()) + 1) if indices.size else (0, 0)
+        )
+        ns = self._touch_lines(
+            lines, write, coherence_only=True, label=arr.name, span=span
+        )
         yield from self.charged_delay("stall", ns)
 
     def sread(self, arr: SharedArray, lo: int = 0, hi: Optional[int] = None) -> Generator:
@@ -210,22 +265,34 @@ class SasContext(BaseContext):
 
     def lock(self, name: str) -> Generator:
         """Acquire a named lock (LL/SC pair on the lock word + FIFO queue)."""
+        t_issue = self.now
         yield from self.charged_delay("sync", self.cfg.lock_rmw_ns)
         world = self.world
         owner = world._locks.get(name)
         if owner is None:
             world._locks[name] = self.rank
-            return
-        gate = self.machine.engine.event(name=f"sas-lock:{name}:{self.rank}")
-        world._lock_queues.setdefault(name, []).append((self.rank, gate))
-        t0 = self.now
-        yield WaitEvent(gate)
-        self.stats.sync_ns += self.now - t0
+        else:
+            gate = self.machine.engine.event(name=f"sas-lock:{name}:{self.rank}")
+            world._lock_queues.setdefault(name, []).append((self.rank, gate))
+            t0 = self.now
+            yield WaitEvent(gate)
+            self.stats.sync_ns += self.now - t0
+        if self._obs.enabled:
+            self._obs.emit(
+                "lock", t_issue, self.rank, dur=self.now - t_issue,
+                attrs={"name": name, "op": "acquire"},
+            )
 
     def unlock(self, name: str) -> Generator:
         if self.world._locks.get(name) != self.rank:
             raise RuntimeError(f"rank {self.rank} releasing lock {name!r} it does not hold")
+        t_issue = self.now
         yield from self.charged_delay("sync", self.cfg.lock_rmw_ns)
+        if self._obs.enabled:
+            self._obs.emit(
+                "lock", t_issue, self.rank, dur=self.now - t_issue,
+                attrs={"name": name, "op": "release"},
+            )
         queue = self.world._lock_queues.get(name)
         if queue:
             # direct handoff: ownership transfers before the waiter wakes, so
@@ -262,6 +329,7 @@ class SasContext(BaseContext):
         world = self.world
         words = world.barrier_words
         t0 = self.now
+        gen = world.barrier_epoch  # same for every rank of this episode
         # atomic increment on the counter word
         ns = self._touch_lines([words.line_of(0)], write=True)
         ns += self.cfg.lock_rmw_ns
@@ -269,6 +337,7 @@ class SasContext(BaseContext):
         world._barrier_count += 1
         if world._barrier_count == self.nprocs:
             world._barrier_count = 0
+            world.barrier_epoch += 1
             release = world._barrier_release
             world._barrier_release = self.machine.engine.event(
                 name=f"sas-barrier:{self.now}"
@@ -282,6 +351,11 @@ class SasContext(BaseContext):
             ns = self._touch_lines([words.line_of(1)], write=False)
             yield Delay(ns)
         self.stats.sync_ns += self.now - t0
+        if self._obs.enabled:
+            self._obs.emit(
+                "barrier", t0, self.rank, dur=self.now - t0,
+                attrs={"gen": gen, "name": "all", "kind": "central"},
+            )
 
     def barrier_group(self, name: Any, size: int) -> Generator:
         """Barrier over a named subgroup of ``size`` ranks.
@@ -300,8 +374,10 @@ class SasContext(BaseContext):
             state = [0, self.machine.engine.event(name=f"sas-gbar:{name}")]
             world._group_barriers[name] = state
         t0 = self.now
+        gen = world._group_epochs.get(name, 0)
         state[0] += 1
         if state[0] == size:
+            world._group_epochs[name] = gen + 1
             world._group_barriers[name] = [
                 0,
                 self.machine.engine.event(name=f"sas-gbar:{name}:{self.now}"),
@@ -313,14 +389,21 @@ class SasContext(BaseContext):
         else:
             yield WaitEvent(state[1])
         self.stats.sync_ns += self.now - t0
+        if self._obs.enabled:
+            self._obs.emit(
+                "barrier", t0, self.rank, dur=self.now - t0,
+                attrs={"gen": gen, "name": str(name), "kind": "group"},
+            )
 
     def _barrier_tree(self) -> Generator:
         """Combining tree: stages overlap across CPUs instead of serialising."""
         world = self.world
         t0 = self.now
+        gen = world.barrier_epoch  # same for every rank of this episode
         world._barrier_count += 1
         if world._barrier_count == self.nprocs:
             world._barrier_count = 0
+            world.barrier_epoch += 1
             release = world._barrier_release
             world._barrier_release = self.machine.engine.event(
                 name=f"sas-tree-barrier:{self.now}"
@@ -332,6 +415,11 @@ class SasContext(BaseContext):
         else:
             yield WaitEvent(world._barrier_release)
         self.stats.sync_ns += self.now - t0
+        if self._obs.enabled:
+            self._obs.emit(
+                "barrier", t0, self.rank, dur=self.now - t0,
+                attrs={"gen": gen, "name": "all", "kind": "tree"},
+            )
 
     # -- reductions -------------------------------------------------------------------
 

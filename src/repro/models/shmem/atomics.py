@@ -39,38 +39,58 @@ def _round_trip(ctx, target_rank: int) -> Generator:
 
 def fetch_add(ctx, sym, target_rank: int, index: int, value) -> Generator:
     """Atomic fetch-and-add on ``sym[index]`` at ``target_rank``; returns old."""
+    t0 = ctx.now
     yield from _round_trip(ctx, target_rank)
     flat = sym.copies[target_rank].reshape(-1)
     old = flat[index].item() if hasattr(flat[index], "item") else flat[index]
     flat[index] += value
+    if ctx._obs.enabled:
+        ctx._obs.emit(
+            "atomic", t0, ctx.rank, target_rank, _ATOMIC_BYTES,
+            dur=ctx.now - t0,
+            attrs={"op": "fetch_add", "sym": sym.name, "index": int(index)},
+        )
     return old
 
 
 def cswap(ctx, sym, target_rank: int, index: int, cond, value) -> Generator:
     """Atomic compare-and-swap; returns the value observed before the swap."""
+    t0 = ctx.now
     yield from _round_trip(ctx, target_rank)
     flat = sym.copies[target_rank].reshape(-1)
     old = flat[index].item() if hasattr(flat[index], "item") else flat[index]
     if old == cond:
         flat[index] = value
+    if ctx._obs.enabled:
+        ctx._obs.emit(
+            "atomic", t0, ctx.rank, target_rank, _ATOMIC_BYTES,
+            dur=ctx.now - t0,
+            attrs={"op": "cswap", "sym": sym.name, "index": int(index)},
+        )
     return old
 
 
 def set_lock(ctx, name: str) -> Generator:
     """Acquire a named global lock (FIFO under contention)."""
     world = ctx.world
+    t0 = ctx.now
     # the swap that attempts acquisition: a round trip to the lock's home
     yield from _round_trip(ctx, 0)
     owner = world._lock_owner.get(name)
     if owner is None:
         world._lock_owner[name] = ctx.rank
-        return
-    queue = world._lock_queue.setdefault(name, deque())
-    gate = ctx.machine.engine.event(name=f"shmem-lock:{name}:{ctx.rank}")
-    queue.append((ctx.rank, gate))
-    t0 = ctx.now
-    yield WaitEvent(gate)
-    ctx.stats.sync_ns += ctx.now - t0
+    else:
+        queue = world._lock_queue.setdefault(name, deque())
+        gate = ctx.machine.engine.event(name=f"shmem-lock:{name}:{ctx.rank}")
+        queue.append((ctx.rank, gate))
+        t1 = ctx.now
+        yield WaitEvent(gate)
+        ctx.stats.sync_ns += ctx.now - t1
+    if ctx._obs.enabled:
+        ctx._obs.emit(
+            "lock", t0, ctx.rank, dur=ctx.now - t0,
+            attrs={"name": name, "op": "acquire"},
+        )
 
 
 def clear_lock(ctx, name: str) -> Generator:
@@ -78,6 +98,7 @@ def clear_lock(ctx, name: str) -> Generator:
     world = ctx.world
     if world._lock_owner.get(name) != ctx.rank:
         raise RuntimeError(f"rank {ctx.rank} releasing lock {name!r} it does not hold")
+    t0 = ctx.now
     yield from _round_trip(ctx, 0)
     queue = world._lock_queue.get(name)
     if queue:
@@ -86,3 +107,8 @@ def clear_lock(ctx, name: str) -> Generator:
         gate.fire()
     else:
         world._lock_owner.pop(name, None)
+    if ctx._obs.enabled:
+        ctx._obs.emit(
+            "lock", t0, ctx.rank, dur=ctx.now - t0,
+            attrs={"name": name, "op": "release"},
+        )

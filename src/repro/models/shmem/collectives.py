@@ -12,6 +12,7 @@ fold for non-power-of-two rank counts; ``broadcast`` is a binomial tree;
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable, Generator, Optional
 
 from repro.models.payload import nbytes_of
@@ -20,11 +21,40 @@ from repro.sim.engine import WaitEvent
 __all__ = ["broadcast", "collect", "to_all"]
 
 
+def _observed(op: str):
+    """Emit one ``collective`` event per traced call (cf. the MPI twin)."""
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(ctx, *args, **kwargs) -> Generator:
+            if not ctx._obs.enabled:
+                result = yield from fn(ctx, *args, **kwargs)
+                return result
+            t0 = ctx.now
+            result = yield from fn(ctx, *args, **kwargs)
+            ctx._obs.emit(
+                "collective", t0, ctx.rank, dur=ctx.now - t0,
+                attrs={"op": op, "model": "shmem"},
+            )
+            return result
+
+        return wrapper
+
+    return deco
+
+
 def _send(ctx, dst: int, tag, value: Any) -> Generator:
     """Model of 'put data into partner's staging buffer, then set flag'."""
     size = nbytes_of(value)
     ctx.stats.puts += 1
     ctx.stats.put_bytes += size
+    if ctx._obs.enabled:
+        # emitted as coll_xfer (not "put"): staging-buffer traffic carries
+        # its own completion flag, so the sync checker must not demand a
+        # fence for it
+        ctx._obs.emit(
+            "coll_xfer", ctx.now, ctx.rank, dst, size, attrs={"wire": size + 8}
+        )
     yield from ctx.charged_delay("comm", ctx.cfg.shmem_op_ns)
     ctx.machine.engine.spawn(
         _deliver(ctx, dst, tag, value, size), name=f"shmem-coll:{ctx.rank}->{dst}"
@@ -47,6 +77,7 @@ def _recv(ctx, tag) -> Generator:
     return value
 
 
+@_observed("broadcast")
 def broadcast(ctx, value: Any, root: int = 0) -> Generator:
     """Binomial-tree broadcast; every rank returns the value."""
     n = ctx.nprocs
@@ -69,6 +100,7 @@ def broadcast(ctx, value: Any, root: int = 0) -> Generator:
     return value
 
 
+@_observed("to_all")
 def to_all(ctx, value: Any, op: Optional[Callable] = None) -> Generator:
     """Reduction-to-all via recursive doubling (with non-power-of-2 fold)."""
     import operator
@@ -110,6 +142,7 @@ def _merge(a: dict, b: dict) -> dict:
     return out
 
 
+@_observed("collect")
 def collect(ctx, value: Any) -> Generator:
     """All-gather: every rank returns the rank-ordered list of values."""
     table = yield from to_all(ctx, {ctx.rank: value}, _merge)

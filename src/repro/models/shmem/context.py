@@ -128,11 +128,21 @@ class ShmemContext(BaseContext):
         nbytes = int(data.nbytes)
         self.stats.puts += 1
         self.stats.put_bytes += nbytes
+        if self._obs.enabled:
+            self._obs.emit(
+                "put", self.now, self.rank, target_rank, nbytes,
+                attrs={"sym": sym.name, "lo": offset, "hi": offset + int(data.size)},
+            )
         yield from self.charged_delay("comm", self.cfg.shmem_op_ns)
         snapshot = data.copy()  # source buffer reusable after return
         if target_rank == self.rank:
             yield from self.charged_delay("comm", nbytes / self.cfg.shmem_copy_bpns)
             self._store(sym, self.rank, snapshot, offset)
+            if self._obs.enabled:
+                self._obs.emit(
+                    "put_done", self.now, self.rank, self.rank, nbytes,
+                    attrs={"sym": sym.name, "lo": offset, "hi": offset + int(snapshot.size)},
+                )
             return
         done = self.machine.engine.event(name=f"put:{self.rank}->{target_rank}")
         self._outstanding.append(done)
@@ -154,6 +164,11 @@ class ShmemContext(BaseContext):
             self.node, self.cfg.node_of_cpu(target_rank), nbytes
         )
         self._store(sym, target_rank, snapshot, offset)
+        if self._obs.enabled:
+            self._obs.emit(
+                "put_done", self.now, self.rank, target_rank, nbytes,
+                attrs={"sym": sym.name, "lo": offset, "hi": offset + int(snapshot.size)},
+            )
         done.fire()
 
     @staticmethod
@@ -187,6 +202,7 @@ class ShmemContext(BaseContext):
         nbytes = count * sym.itemsize
         self.stats.gets += 1
         self.stats.get_bytes += nbytes
+        t_issue = self.now
         yield from self.charged_delay("comm", self.cfg.shmem_op_ns)
         if source_rank != self.rank:
             t0 = self.now
@@ -196,16 +212,27 @@ class ShmemContext(BaseContext):
             self._charge("comm", self.now - t0)
         else:
             yield from self.charged_delay("comm", nbytes / self.cfg.shmem_copy_bpns)
+        if self._obs.enabled:
+            # flow convention: src = the rank whose copy supplied the data
+            self._obs.emit(
+                "get", t_issue, source_rank, self.rank, nbytes,
+                dur=self.now - t_issue,
+                attrs={"sym": sym.name, "lo": offset, "hi": offset + count},
+            )
         return flat[offset : offset + count].copy()
 
     def quiet(self) -> Generator:
         """Block until all outstanding puts from this rank are delivered."""
         pending = [ev for ev in self._outstanding if not ev.fired]
         self._outstanding.clear()
+        t0 = self.now
         if pending:
-            t0 = self.now
             yield AllOf(pending)
             self._charge("comm", self.now - t0)
+        if self._obs.enabled:
+            self._obs.emit(
+                "fence", t0, self.rank, dur=self.now - t0, attrs={"op": "quiet"}
+            )
 
     def fence(self) -> Generator:
         """Order puts to each target (same-cost as quiet in this model)."""
@@ -217,6 +244,9 @@ class ShmemContext(BaseContext):
         """Global barrier (implies quiet), dissemination-cost model."""
         yield from self.quiet()
         t0 = self.now
+        # all ranks of one episode capture the same generation: the counter
+        # only advances when the last arriver shows up, after this read
+        gen = self.world.barrier.generation
         release, is_last = self.world.barrier.arrive()
         if is_last:
             # the dissemination rounds everyone pays after the last arrival
@@ -229,6 +259,11 @@ class ShmemContext(BaseContext):
         else:
             yield WaitEvent(release)
         self.stats.sync_ns += self.now - t0
+        if self._obs.enabled:
+            self._obs.emit(
+                "barrier", t0, self.rank, dur=self.now - t0,
+                attrs={"gen": gen, "name": "all"},
+            )
 
     # -- atomics & locks (implemented in atomics.py) -------------------------------
 
@@ -323,6 +358,12 @@ class ShmemContext(BaseContext):
             )
         self.stats.puts += 1
         self.stats.put_bytes += count * sym.itemsize
+        if self._obs.enabled:
+            self._obs.emit(
+                "put", self.now, self.rank, target_rank, count * sym.itemsize,
+                attrs={"sym": sym.name, "lo": offset, "hi": last + 1,
+                       "stride": target_stride},
+            )
         yield from self.charged_delay("comm", self.cfg.shmem_op_ns)
         snapshot = data.copy()
         indices = offset + np.arange(count) * target_stride
@@ -331,6 +372,11 @@ class ShmemContext(BaseContext):
         if target_rank == self.rank:
             yield from self.charged_delay("comm", count * sym.itemsize / self.cfg.shmem_copy_bpns)
             flat[indices] = snapshot.reshape(-1)
+            if self._obs.enabled:
+                self._obs.emit(
+                    "put_done", self.now, self.rank, self.rank, count * sym.itemsize,
+                    attrs={"sym": sym.name, "lo": offset, "hi": last + 1},
+                )
             return
         done = self.machine.engine.event(name=f"iput:{self.rank}->{target_rank}")
         self._outstanding.append(done)
@@ -344,6 +390,13 @@ class ShmemContext(BaseContext):
             self.node, self.cfg.node_of_cpu(target_rank), nbytes
         )
         sym.copies[target_rank].reshape(-1)[indices] = snapshot.reshape(-1)
+        if self._obs.enabled:
+            self._obs.emit(
+                "put_done", self.now, self.rank, target_rank,
+                int(snapshot.size) * sym.itemsize,
+                attrs={"sym": sym.name, "lo": int(indices[0]) if indices.size else 0,
+                       "hi": (int(indices[-1]) + 1) if indices.size else 0},
+            )
         done.fire()
 
     def iget(
@@ -366,6 +419,7 @@ class ShmemContext(BaseContext):
             )
         self.stats.gets += 1
         self.stats.get_bytes += count * sym.itemsize
+        t_issue = self.now
         yield from self.charged_delay("comm", self.cfg.shmem_op_ns)
         indices = offset + np.arange(count) * source_stride
         if source_rank != self.rank:
@@ -379,6 +433,13 @@ class ShmemContext(BaseContext):
         else:
             yield from self.charged_delay(
                 "comm", count * sym.itemsize / self.cfg.shmem_copy_bpns
+            )
+        if self._obs.enabled:
+            self._obs.emit(
+                "get", t_issue, source_rank, self.rank, count * sym.itemsize,
+                dur=self.now - t_issue,
+                attrs={"sym": sym.name, "lo": offset, "hi": last + 1,
+                       "stride": source_stride},
             )
         return flat[indices].copy()
 

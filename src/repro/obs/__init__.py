@@ -1,0 +1,41 @@
+"""repro.obs — simulated-time communication observability.
+
+Structured event tracing across the MPI, SHMEM, and CC-SAS runtimes,
+analysis passes (comm matrices, size histograms, phase breakdowns),
+Perfetto/JSONL exporters, and a trace-based synchronization checker.
+"""
+
+from repro.obs.analysis import (
+    RANK_FLOW_KINDS,
+    comm_matrix,
+    format_matrix,
+    phase_breakdown,
+    phase_intervals,
+    sas_home_matrix,
+    size_histogram,
+    summarize,
+)
+from repro.obs.check import Violation, check_sync, format_violations
+from repro.obs.events import EVENT_KINDS, Event, EventLog
+from repro.obs.export import from_jsonl, to_jsonl, to_perfetto, write_perfetto
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "EventLog",
+    "RANK_FLOW_KINDS",
+    "comm_matrix",
+    "sas_home_matrix",
+    "size_histogram",
+    "phase_breakdown",
+    "phase_intervals",
+    "summarize",
+    "format_matrix",
+    "to_jsonl",
+    "from_jsonl",
+    "to_perfetto",
+    "write_perfetto",
+    "Violation",
+    "check_sync",
+    "format_violations",
+]

@@ -1,0 +1,147 @@
+"""Structured simulated-time communication events.
+
+Every runtime primitive in :mod:`repro.models` and the machine layer emits
+:class:`Event` records into the machine's :class:`EventLog` when tracing is
+on.  The schema is deliberately small and flat so that one stream serves all
+three programming models:
+
+=============  ================================================================
+kind           meaning (``src``/``dst`` are ranks unless noted)
+=============  ================================================================
+``msg_send``   MPI send initiation (``attrs``: tag, eager, coll)
+``msg_recv``   MPI receive completion (``attrs``: tag)
+``put``        SHMEM put/iput issue (``attrs``: sym, lo, hi)
+``put_done``   SHMEM put delivery at the target (``attrs``: sym, lo, hi)
+``get``        SHMEM get completion; ``src`` is the data's owner rank
+``atomic``     SHMEM remote atomic (``attrs``: op)
+``lock``       lock acquire/release, SHMEM or SAS (``attrs``: name, op)
+``fence``      SHMEM quiet/fence completion (``attrs``: op)
+``barrier``    barrier arrival (``attrs``: gen — global episode number, name)
+``collective`` one collective call, any model (``attrs``: op, model)
+``coll_xfer``  SHMEM collective-internal put+flag transfer
+``coherence``  CC-SAS charged access: one event per ``stouch`` call
+               (``attrs``: write, label, lo, hi, per-kind line counts,
+               ``homes`` — lines fetched per home node, str-keyed)
+``phase``      one closed phase interval (``attrs``: name); ``dur`` spans it
+``net``        one physical network transfer; ``src``/``dst`` are *nodes*
+=============  ================================================================
+
+``t`` is the simulated-nanosecond issue time and ``dur`` the simulated
+duration (0 for instantaneous records).  Emission never advances virtual
+time and never touches the engine, so a traced run is bit-identical in
+simulated nanoseconds and results to an untraced one — the determinism
+guard in ``tests/test_determinism.py`` asserts exactly that.
+
+``attrs`` values must be JSON-representable (str-keyed dicts, lists, ints,
+floats, strings, bools, None) so the JSONL export round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["EVENT_KINDS", "Event", "EventLog"]
+
+EVENT_KINDS = (
+    "msg_send",
+    "msg_recv",
+    "put",
+    "put_done",
+    "get",
+    "atomic",
+    "lock",
+    "fence",
+    "barrier",
+    "collective",
+    "coll_xfer",
+    "coherence",
+    "phase",
+    "net",
+)
+
+
+@dataclass
+class Event:
+    """One structured occurrence on the simulated machine."""
+
+    t: float
+    kind: str
+    src: int
+    dst: int = -1
+    nbytes: int = 0
+    dur: float = 0.0
+    attrs: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "t": self.t,
+            "kind": self.kind,
+            "src": self.src,
+            "dst": self.dst,
+            "nbytes": self.nbytes,
+            "dur": self.dur,
+        }
+        if self.attrs is not None:
+            d["attrs"] = self.attrs
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Event":
+        return cls(
+            t=float(d["t"]),
+            kind=str(d["kind"]),
+            src=int(d["src"]),
+            dst=int(d.get("dst", -1)),
+            nbytes=int(d.get("nbytes", 0)),
+            dur=float(d.get("dur", 0.0)),
+            attrs=d.get("attrs"),
+        )
+
+
+class EventLog:
+    """The machine-wide event sink.
+
+    Disabled by default so the hot paths pay only one attribute check;
+    callers must guard emission sites with ``if obs.enabled:`` *before*
+    constructing event arguments — that is what makes tracing zero-cost
+    when off.
+    """
+
+    __slots__ = ("enabled", "coherence_detail", "events")
+
+    def __init__(self, enabled: bool = False, coherence_detail: bool = False):
+        self.enabled = enabled
+        #: also emit one event per directory transaction (very verbose)
+        self.coherence_detail = coherence_detail
+        self.events: List[Event] = []
+
+    def emit(
+        self,
+        kind: str,
+        t: float,
+        src: int,
+        dst: int = -1,
+        nbytes: int = 0,
+        dur: float = 0.0,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.events.append(Event(t, kind, src, dst, nbytes, dur, attrs))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def by_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()

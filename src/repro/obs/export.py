@@ -1,0 +1,121 @@
+"""Trace exporters: compact JSONL and Chrome/Perfetto ``trace_event`` JSON.
+
+The JSONL format is the archival one — one event per line, loadable with
+:func:`from_jsonl` into the exact same :class:`Event` objects (the
+round-trip is asserted by ``tests/test_obs.py``).  The Perfetto export
+produces a standard ``trace_event`` JSON object that loads directly in
+`ui.perfetto.dev <https://ui.perfetto.dev>`_ (or ``chrome://tracing``):
+one track per rank (pid 0), one track per node for physical network
+transfers (pid 1), with phases as slices and communication primitives as
+nested slices / instants.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Sequence, Union
+
+from repro.obs.analysis import issuing_rank
+from repro.obs.events import Event
+
+__all__ = [
+    "to_jsonl",
+    "from_jsonl",
+    "to_perfetto",
+    "write_perfetto",
+]
+
+_NS_PER_US = 1000.0  # trace_event timestamps are microseconds
+
+
+def to_jsonl(events: Sequence[Event], path_or_file: Union[str, IO[str]]) -> int:
+    """Write one JSON object per line; returns the number of events."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as fh:
+            return to_jsonl(events, fh)
+    n = 0
+    for ev in events:
+        path_or_file.write(json.dumps(ev.to_dict(), separators=(",", ":")))
+        path_or_file.write("\n")
+        n += 1
+    return n
+
+
+def from_jsonl(path_or_file: Union[str, IO[str]]) -> List[Event]:
+    """Load a JSONL trace back into :class:`Event` objects."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as fh:
+            return from_jsonl(fh)
+    out: List[Event] = []
+    for line in path_or_file:
+        line = line.strip()
+        if line:
+            out.append(Event.from_dict(json.loads(line)))
+    return out
+
+
+def _slice(name: str, cat: str, ts_ns: float, dur_ns: float, pid: int, tid: int,
+           args: Dict[str, Any]) -> Dict[str, Any]:
+    if dur_ns > 0.0:
+        return {
+            "name": name, "cat": cat, "ph": "X",
+            "ts": ts_ns / _NS_PER_US, "dur": dur_ns / _NS_PER_US,
+            "pid": pid, "tid": tid, "args": args,
+        }
+    return {
+        "name": name, "cat": cat, "ph": "i", "s": "t",
+        "ts": ts_ns / _NS_PER_US, "pid": pid, "tid": tid, "args": args,
+    }
+
+
+def to_perfetto(events: Sequence[Event], nprocs: int) -> Dict[str, Any]:
+    """Build a ``trace_event`` JSON document (as a dict) from an event list."""
+    trace: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "simulated ranks"}},
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "interconnect"}},
+    ]
+    for r in range(nprocs):
+        trace.append(
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": r,
+             "args": {"name": f"rank {r}"}}
+        )
+    seen_nodes = set()
+    for ev in events:
+        args: Dict[str, Any] = {"src": ev.src, "dst": ev.dst, "nbytes": ev.nbytes}
+        if ev.attrs:
+            args.update(ev.attrs)
+        if ev.kind == "net":
+            for node in (ev.src, ev.dst):
+                if node not in seen_nodes:
+                    seen_nodes.add(node)
+                    trace.append(
+                        {"name": "thread_name", "ph": "M", "pid": 1, "tid": node,
+                         "args": {"name": f"node {node}"}}
+                    )
+            trace.append(
+                _slice(f"xfer {ev.nbytes}B", "net", ev.t, ev.dur, 1, ev.src, args)
+            )
+            continue
+        if ev.kind == "phase" and ev.attrs is not None:
+            name = str(ev.attrs.get("name"))
+            trace.append(_slice(name, "phase", ev.t, ev.dur, 0, ev.src, args))
+            continue
+        name = ev.kind
+        if ev.attrs:
+            op = ev.attrs.get("op")
+            if op:
+                name = f"{ev.kind}:{op}"
+        trace.append(_slice(name, ev.kind, ev.t, ev.dur, 0, issuing_rank(ev), args))
+    return {"traceEvents": trace, "displayTimeUnit": "ns"}
+
+
+def write_perfetto(
+    events: Sequence[Event], path: str, nprocs: int
+) -> int:
+    """Write the Perfetto JSON to ``path``; returns the trace-entry count."""
+    doc = to_perfetto(events, nprocs)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return len(doc["traceEvents"])

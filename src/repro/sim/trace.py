@@ -1,9 +1,16 @@
-"""Lightweight event tracing for debugging and for the harness's timelines."""
+"""Lightweight event tracing for debugging and for the harness's timelines.
+
+The buffer is a ring: when ``limit`` is set and the buffer is full, the
+*oldest* record is evicted (rather than silently dropping the new one) and
+the ``dropped`` counter is incremented, so summaries can report how much of
+the trace was lost.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
 
 __all__ = ["TraceRecord", "Tracer"]
 
@@ -18,32 +25,53 @@ class TraceRecord:
     detail: Any = None
 
 
-@dataclass
 class Tracer:
-    """Append-only trace buffer shared by runtime components.
+    """Ring-buffer trace shared by runtime components.
 
     Tracing is off by default (``enabled=False``) so the hot path pays only a
-    single attribute check.
+    single attribute check.  With a ``limit``, the newest ``limit`` records
+    are kept and ``dropped`` counts evictions.
     """
 
-    enabled: bool = False
-    records: List[TraceRecord] = field(default_factory=list)
-    limit: Optional[int] = None
+    def __init__(
+        self,
+        enabled: bool = False,
+        records: Optional[List[TraceRecord]] = None,
+        limit: Optional[int] = None,
+    ):
+        self.enabled = enabled
+        self.limit = limit
+        self.dropped = 0
+        self._ring: Deque[TraceRecord] = deque(records or (), maxlen=limit)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return list(self._ring)
 
     def emit(self, time_ns: float, actor: str, kind: str, detail: Any = None) -> None:
         if not self.enabled:
             return
-        if self.limit is not None and len(self.records) >= self.limit:
-            return
-        self.records.append(TraceRecord(time_ns, actor, kind, detail))
+        ring = self._ring
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append(TraceRecord(time_ns, actor, kind, detail))
 
     def filter(self, kind: Optional[str] = None, actor: Optional[str] = None) -> List[TraceRecord]:
-        out = self.records
+        out: List[TraceRecord] = list(self._ring)
         if kind is not None:
             out = [r for r in out if r.kind == kind]
         if actor is not None:
             out = [r for r in out if r.actor == actor]
         return out
 
+    def summary(self) -> Dict[str, int]:
+        """Counts per kind, plus how many records the ring evicted."""
+        out: Dict[str, int] = {}
+        for r in self._ring:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        out["dropped"] = self.dropped
+        return out
+
     def clear(self) -> None:
-        self.records.clear()
+        self._ring.clear()
+        self.dropped = 0

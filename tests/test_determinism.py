@@ -102,3 +102,21 @@ def test_full_app_run_is_identical():
     assert a.elapsed_ns == b.elapsed_ns
     assert a.stats.summary() == b.stats.summary()
     assert a.phase_ns == b.phase_ns
+
+
+@pytest.mark.parametrize("model", ["mpi", "shmem", "sas"])
+@pytest.mark.parametrize("nprocs", [1, 4, 8])
+def test_tracing_does_not_perturb_simulation(model, nprocs):
+    """Event tracing must be pure observation: simulated time and results
+    are bit-identical with tracing on or off."""
+    from repro.apps.adapt import AdaptConfig
+    from repro.harness import run_app
+
+    cfg = AdaptConfig(mesh_n=6, phases=2, solver_iters=3)
+    base = run_app("adapt", model, nprocs, cfg)
+    traced = run_app("adapt", model, nprocs, cfg, trace=True)
+    assert traced.elapsed_ns == base.elapsed_ns
+    assert traced.rank_results == base.rank_results
+    assert traced.stats.summary() == base.stats.summary()
+    assert base.events is None
+    assert traced.events, "traced run recorded no events"

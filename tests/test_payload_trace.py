@@ -72,6 +72,31 @@ class TestTracer:
             t.emit(float(i), "a", "x")
         assert len(t.records) == 2
 
+    def test_limit_keeps_newest_and_counts_dropped(self):
+        t = Tracer(enabled=True, limit=2)
+        for i in range(5):
+            t.emit(float(i), "a", "x")
+        # ring buffer: the two *newest* records survive, the rest are counted
+        assert [r.time_ns for r in t.records] == [3.0, 4.0]
+        assert t.dropped == 3
+
+    def test_summary_reports_dropped(self):
+        t = Tracer(enabled=True, limit=1)
+        t.emit(1.0, "a", "send")
+        t.emit(2.0, "a", "send")
+        t.emit(3.0, "a", "recv")
+        s = t.summary()
+        assert s["dropped"] == 2
+        assert s["recv"] == 1
+
+    def test_clear_resets_dropped(self):
+        t = Tracer(enabled=True, limit=1)
+        t.emit(1.0, "a", "x")
+        t.emit(2.0, "a", "x")
+        assert t.dropped == 1
+        t.clear()
+        assert t.dropped == 0 and t.records == []
+
     def test_clear(self):
         t = Tracer(enabled=True)
         t.emit(1.0, "a", "x")
