@@ -8,6 +8,7 @@ Commands
 ``sweep``   app × model × P sweep with speedup table and ASCII chart
 ``micro``   the machine microbenchmarks (latency ladder, messaging)
 ``bench-sas`` host-time benchmark of the batched SAS memory pipeline
+``bench-faults`` per-model fault-recovery overhead (retries, goodput)
 ``effort``  the programming-effort (LoC) table
 ``describe`` the simulated machine for a given processor count
 ``paper``   regenerate every experiment table/figure (R-F*/R-T*)
@@ -107,7 +108,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         PROFILER.reset().enable()
     traced = bool(args.trace) or args.check_sync
-    result = run_app(app, model, args.nprocs, wl, placement=args.placement, trace=traced)
+    faults = None
+    if args.faults:
+        from repro.faults import resolve_profile
+
+        faults = resolve_profile(args.faults, seed=args.fault_seed)
+    result = run_app(
+        app, model, args.nprocs, wl, placement=args.placement, trace=traced,
+        faults=faults,
+    )
     agg = aggregate_breakdown(result)
     print(f"{app} under {model} on {args.nprocs} CPUs ({args.size} workload)")
     print(f"  simulated time : {result.elapsed_ms:.3f} ms")
@@ -121,6 +130,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"  traffic        : {stats['messages']} msgs / {stats['puts']} puts /"
         f" {stats['remote_misses'] + stats['dirty_misses']} coherence misses"
     )
+    if result.fault_summary is not None:
+        c = result.fault_summary["counters"]
+        print(
+            f"  faults         : profile {result.fault_summary['profile']} "
+            f"(seed {result.fault_summary['seed']}) — {c['drop']} drops / "
+            f"{c['dup']} dups / {c['delay']} delays / {c['nack']} nacks, "
+            f"{result.fault_summary['total_retries']} recoveries"
+        )
     rc = 0
     if traced:
         events = result.events or []
@@ -235,6 +252,40 @@ def cmd_bench_sas(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def cmd_bench_faults(args: argparse.Namespace) -> int:
+    from repro.harness.faultbench import (
+        format_fault_bench,
+        run_fault_bench,
+        write_fault_bench_json,
+    )
+
+    record = run_fault_bench(
+        app=args.app,
+        models=tuple(args.models.split(",")),
+        nprocs_list=[int(p) for p in args.procs.split(",")],
+        profile=args.profile,
+        seed=args.seed,
+        workload=_workload(args.app, args.size),
+        verify=not args.no_verify,
+    )
+    print(format_fault_bench(record))
+    path = write_fault_bench_json(record, args.output)
+    print(f"  wrote {path}")
+    if args.require_retries:
+        lacking = [
+            f"{r['model']} P={r['nprocs']}"
+            for r in record["rows"]
+            if r["nprocs"] > 1 and r["retries"] == 0
+        ]
+        if lacking:
+            print(
+                f"ERROR: no recoveries exercised for: {', '.join(lacking)}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -354,6 +405,11 @@ def main(argv=None) -> int:
                         "(.jsonl => JSONL, otherwise Perfetto trace_event JSON)")
     p.add_argument("--check-sync", action="store_true",
                    help="run the trace-based synchronization checker")
+    p.add_argument("--faults", default=None, metavar="PROFILE",
+                   help="inject faults using a named profile "
+                        "(drizzle, lossy, stress, nacky, flaky-links)")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="override the fault profile's seed")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("trace", help="traced run: event summary + export")
@@ -395,6 +451,23 @@ def main(argv=None) -> int:
     p.add_argument("--min-speedup", type=float, default=0.0,
                    help="with --require-batch: fail below this host speedup")
     p.set_defaults(fn=cmd_bench_sas)
+
+    p = sub.add_parser("bench-faults",
+                       help="per-model fault-recovery overhead benchmark")
+    p.add_argument("--app", choices=_APPS, default="adapt")
+    p.add_argument("-s", "--size", choices=("small", "medium", "large"), default="small")
+    p.add_argument("-p", "--procs", default="1,4,8")
+    p.add_argument("-m", "--models", default="mpi,shmem,sas")
+    p.add_argument("--profile", default="lossy",
+                   help="fault profile (drizzle, lossy, stress, nacky, flaky-links)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the profile's seed")
+    p.add_argument("-o", "--output", default=None, help="BENCH_FAULTS.json path")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the determinism double-run of each faulted config")
+    p.add_argument("--require-retries", action="store_true",
+                   help="fail unless every model at P>1 exercised recovery (CI)")
+    p.set_defaults(fn=cmd_bench_faults)
 
     p = sub.add_parser("effort", help="programming-effort (LoC) table")
     p.set_defaults(fn=cmd_effort)

@@ -1,0 +1,35 @@
+"""repro.faults — deterministic fault injection and per-model recovery.
+
+The paper compares where each programming model's *costs* live; this
+subsystem compares where their *failure modes* live.  A seeded
+:class:`FaultPlane` attached to the machine injects per-hop message drops,
+duplicates, and transient link stalls into the interconnect and transient
+NACKs into directory transactions, inside a configurable simulated-time
+window.  Each runtime recovers in its own idiom:
+
+* **MPI** — sequence-numbered retransmission with timeout and exponential
+  backoff (the sender re-sends until the transfer survives; duplicates are
+  filtered by sequence number at the receiver).
+* **SHMEM** — delivery-verified puts: each put retries until a remote
+  acknowledgment returns, so ``fence``/``quiet`` complete only once every
+  put is *known* delivered.  Gets and atomics retry their full round trip.
+* **CC-SAS** — bounded NACK-retry at the cache/directory pipeline: a
+  NACKed transaction backs off and replays, up to ``max_nacks`` bounces.
+
+Everything is bit-deterministic for a fixed ``(profile, seed)`` and
+zero-cost/bit-identical when disabled (the same guard style as
+``machine.obs``).  See ``docs/faults.md`` for profiles and the
+``bench-faults`` CLI command for per-model recovery overhead.
+"""
+
+from repro.faults.injector import COUNTER_KEYS, FaultPlane, FaultRecoveryError
+from repro.faults.profile import PROFILES, FaultProfile, resolve_profile
+
+__all__ = [
+    "COUNTER_KEYS",
+    "FaultPlane",
+    "FaultRecoveryError",
+    "FaultProfile",
+    "PROFILES",
+    "resolve_profile",
+]

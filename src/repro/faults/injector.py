@@ -1,0 +1,160 @@
+"""The fault plane: deterministic, seeded injection decisions.
+
+One :class:`FaultPlane` instance is attached to each :class:`Machine`
+(``machine.faults``), mirroring the ``machine.obs`` guard style: when
+``plane.enabled`` is False — the default — every hot path pays exactly one
+attribute check and the simulation is bit-identical to a build without the
+faults module.
+
+Decisions are *counter-hashed*, not drawn from a shared stream: the verdict
+for the ``k``-th transfer on channel ``(src, dst)`` is a pure function of
+``(seed, channel, k)`` via a splitmix64-style mixer.  Two runs with the same
+seed and workload therefore make identical decisions even though they
+interleave coroutines — and a decision at one site can never perturb the
+draws at another, which is what makes fault runs exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.faults.profile import FaultProfile, resolve_profile
+
+__all__ = ["FaultPlane", "FaultRecoveryError", "COUNTER_KEYS"]
+
+_MASK = (1 << 64) - 1
+_INV_2_64 = 1.0 / float(1 << 64)
+
+#: every counter a plane tracks (``summary()`` reports them all)
+COUNTER_KEYS = (
+    "drop",            # transfers dropped in flight
+    "dup",             # spurious duplicate transfers injected
+    "delay",           # transient link stalls injected
+    "delay_ns",        # total stall time injected (simulated ns)
+    "nack",            # directory NACK bounces injected
+    "retry_mpi",       # MPI retransmissions performed
+    "retry_shmem",     # SHMEM retransmissions performed
+    "retry_wait_ns",   # total retransmission-timer wait (simulated ns)
+)
+
+
+class FaultRecoveryError(RuntimeError):
+    """A runtime exhausted its retry budget without achieving delivery."""
+
+
+def _mix(x: int) -> int:
+    """splitmix64 finalizer: avalanche one 64-bit word."""
+    x &= _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+class FaultPlane:
+    """Deterministic fault-injection decisions plus injection counters."""
+
+    __slots__ = ("profile", "enabled", "counters", "_site_seq")
+
+    def __init__(self, profile: Optional[FaultProfile] = None):
+        self.profile = resolve_profile(profile)
+        self.enabled = self.profile.any_faults
+        self.counters: Dict[str, float] = {k: 0 for k in COUNTER_KEYS}
+        # per-site invocation counters: (site kind, a, b) -> next sequence no.
+        self._site_seq: Dict[Tuple, int] = {}
+
+    # -- decision mechanics ----------------------------------------------------
+
+    def _next_seq(self, site: Tuple) -> int:
+        seq = self._site_seq.get(site, 0)
+        self._site_seq[site] = seq + 1
+        return seq
+
+    def _uniform(self, *key: int) -> float:
+        """Deterministic draw in [0, 1) from the seed and an integer key."""
+        h = _mix(self.profile.seed ^ 0x9E3779B97F4A7C15)
+        for k in key:
+            h = _mix(h ^ ((k * 0x9E3779B97F4A7C15) & _MASK))
+        return h * _INV_2_64
+
+    def in_window(self, now_ns: float) -> bool:
+        """True when ``now_ns`` lies inside the injection window."""
+        lo, hi = self.profile.window_ns
+        return lo <= now_ns < hi
+
+    # -- link faults -------------------------------------------------------------
+
+    def link_verdict(
+        self, src_node: int, dst_node: int, hops: int, now_ns: float
+    ) -> Tuple[bool, float, bool]:
+        """Decide the fate of one transfer: ``(dropped, extra_ns, duplicated)``.
+
+        Drop and stall draws are made once per router hop (minimum one), a
+        duplication draw once per transfer.  The counters are updated here
+        so callers only need to act on the verdict.
+        """
+        p = self.profile
+        seq = self._next_seq(("link", src_node, dst_node))
+        if not self.in_window(now_ns):
+            return False, 0.0, False
+        dropped = False
+        stalls = 0
+        for hop in range(max(hops, 1)):
+            if p.drop_rate > 0.0 and self._uniform(1, seq, hop) < p.drop_rate:
+                dropped = True
+            if p.delay_rate > 0.0 and self._uniform(2, seq, hop) < p.delay_rate:
+                stalls += 1
+        duplicated = (
+            not dropped
+            and p.dup_rate > 0.0
+            and self._uniform(3, seq, 0) < p.dup_rate
+        )
+        extra_ns = stalls * p.delay_ns
+        if dropped:
+            self.counters["drop"] += 1
+        if duplicated:
+            self.counters["dup"] += 1
+        if stalls:
+            self.counters["delay"] += stalls
+            self.counters["delay_ns"] += extra_ns
+        return dropped, extra_ns, duplicated
+
+    # -- directory faults -----------------------------------------------------------
+
+    def nack_bounces(self, cpu: int, now_ns: float) -> int:
+        """Number of NACK bounces for one directory transaction (bounded)."""
+        p = self.profile
+        seq = self._next_seq(("dir", cpu, 0))
+        if p.nack_rate <= 0.0 or not self.in_window(now_ns):
+            return 0
+        bounces = 0
+        while bounces < p.max_nacks and self._uniform(4, seq, bounces) < p.nack_rate:
+            bounces += 1
+        if bounces:
+            self.counters["nack"] += bounces
+        return bounces
+
+    # -- recovery accounting ------------------------------------------------------------
+
+    def note_retry(self, model: str, wait_ns: float) -> None:
+        """Record one retransmission by ``model`` and its timer wait."""
+        self.counters[f"retry_{model}"] += 1
+        self.counters["retry_wait_ns"] += wait_ns
+
+    @property
+    def total_retries(self) -> int:
+        """All recovery retries across models (NACK bounces included)."""
+        return int(
+            self.counters["retry_mpi"]
+            + self.counters["retry_shmem"]
+            + self.counters["nack"]
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Profile identity plus every injection/recovery counter."""
+        return {
+            "profile": self.profile.name,
+            "seed": self.profile.seed,
+            "enabled": self.enabled,
+            "counters": dict(self.counters),
+            "total_retries": self.total_retries,
+        }

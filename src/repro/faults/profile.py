@@ -1,0 +1,127 @@
+"""Fault profiles: named, seeded descriptions of what goes wrong and when.
+
+A :class:`FaultProfile` bundles every knob of the injection layer —
+per-hop link fault rates, directory NACK rates, the injection window, and
+the recovery parameters (retransmission timeout, backoff, retry bounds)
+the model runtimes use to survive the faults.  Profiles are immutable and
+hashable so a (profile, seed) pair fully determines a run: two simulations
+with the same profile, seed, and workload are bit-identical.
+
+Named presets live in :data:`PROFILES`; resolve user input (a name, a
+``FaultProfile``, or ``None``) with :func:`resolve_profile`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple, Union
+
+__all__ = ["FaultProfile", "PROFILES", "resolve_profile"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """All tunable parameters of fault injection and recovery.
+
+    Rates are probabilities in ``[0, 1]``; times are simulated
+    nanoseconds.  ``drop_rate`` and ``delay_rate`` are evaluated *per
+    router hop* of a transfer's route (longer routes fail more often, as
+    on a real interconnect); ``dup_rate`` and ``nack_rate`` are evaluated
+    once per transfer / directory transaction.
+    """
+
+    name: str = "none"
+    seed: int = 1
+    # -- link faults (evaluated in Network._transfer) ----------------------
+    drop_rate: float = 0.0       # per-hop: the message dies in flight
+    dup_rate: float = 0.0        # per-transfer: a spurious duplicate follows
+    delay_rate: float = 0.0      # per-hop: transient link stall
+    delay_ns: float = 0.0        # length of one stall
+    # -- directory faults (evaluated in Directory.transaction) -------------
+    nack_rate: float = 0.0       # per-transaction: home directory NACKs
+    nack_retry_ns: float = 600.0  # requester backoff + replay per bounce
+    max_nacks: int = 4           # bound on consecutive NACKs of one access
+    # -- injection window (simulated ns; faults only inside [start, end)) ---
+    window_ns: Tuple[float, float] = (0.0, math.inf)
+    # -- recovery parameters (used by the model runtimes) -------------------
+    retry_timeout_ns: float = 25_000.0  # first retransmission timer
+    retry_backoff: float = 2.0          # timer multiplier per retry
+    max_retries: int = 12               # retransmissions before giving up
+    ack_bytes: int = 64                 # wire size of a delivery ack
+
+    def __post_init__(self) -> None:
+        for field_name in ("drop_rate", "dup_rate", "delay_rate", "nack_rate"):
+            v = getattr(self, field_name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {v}")
+        if self.max_retries < 1 or self.max_nacks < 0:
+            raise ValueError("max_retries must be >= 1 and max_nacks >= 0")
+        if self.retry_timeout_ns <= 0 or self.retry_backoff < 1.0:
+            raise ValueError("retry_timeout_ns must be > 0 and retry_backoff >= 1")
+        lo, hi = self.window_ns
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad injection window {self.window_ns}")
+
+    @property
+    def any_faults(self) -> bool:
+        """True if this profile can inject anything at all."""
+        return (
+            self.drop_rate > 0
+            or self.dup_rate > 0
+            or self.delay_rate > 0
+            or self.nack_rate > 0
+        )
+
+    def with_(self, **overrides) -> "FaultProfile":
+        """A copy with some parameters replaced (profiles are immutable)."""
+        return replace(self, **overrides)
+
+
+#: the named presets accepted by ``--faults`` and :func:`resolve_profile`
+PROFILES: Dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "drizzle": FaultProfile(
+        name="drizzle", drop_rate=0.01, delay_rate=0.02, delay_ns=1_000.0,
+        nack_rate=0.002,
+    ),
+    "lossy": FaultProfile(
+        name="lossy", drop_rate=0.03, dup_rate=0.02, delay_rate=0.05,
+        delay_ns=2_000.0, nack_rate=0.01,
+    ),
+    "stress": FaultProfile(
+        name="stress", drop_rate=0.08, dup_rate=0.05, delay_rate=0.10,
+        delay_ns=4_000.0, nack_rate=0.03, max_nacks=6,
+    ),
+    "nacky": FaultProfile(name="nacky", nack_rate=0.05),
+    "flaky-links": FaultProfile(
+        name="flaky-links", delay_rate=0.20, delay_ns=5_000.0
+    ),
+}
+
+
+def resolve_profile(
+    spec: Union[None, str, FaultProfile], seed: Optional[int] = None
+) -> FaultProfile:
+    """Resolve a profile spec to a :class:`FaultProfile`.
+
+    Accepts ``None`` (the inert ``"none"`` profile), a preset name from
+    :data:`PROFILES`, or an existing profile (passed through).  ``seed``,
+    when given, overrides the profile's seed.
+    """
+    if spec is None:
+        profile = PROFILES["none"]
+    elif isinstance(spec, FaultProfile):
+        profile = spec
+    elif isinstance(spec, str):
+        try:
+            profile = PROFILES[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault profile {spec!r}; choose from {sorted(PROFILES)}"
+            ) from None
+    else:
+        raise TypeError(f"fault profile spec must be None, str, or FaultProfile, got {type(spec)}")
+    if seed is not None and seed != profile.seed:
+        profile = profile.with_(seed=seed)
+    return profile

@@ -2,6 +2,7 @@
 
 from repro.harness.experiment import APPS, run_app, sweep
 from repro.harness.breakdown import breakdown_rows, comm_stats_rows
+from repro.harness.faultbench import format_fault_bench, run_fault_bench, write_fault_bench_json
 from repro.harness.tables import format_table
 from repro.harness.figures import ascii_chart
 from repro.harness.loc import count_loc, effort_table
@@ -10,6 +11,9 @@ __all__ = [
     "APPS",
     "run_app",
     "sweep",
+    "run_fault_bench",
+    "format_fault_bench",
+    "write_fault_bench_json",
     "breakdown_rows",
     "comm_stats_rows",
     "format_table",

@@ -19,7 +19,7 @@ __all__ = ["APPS", "SweepRow", "run_app", "sweep"]
 _script_cache: Dict[Any, Any] = {}
 
 
-def _adapt_runner(model: str, nprocs: int, workload, placement: str, trace: bool = False) -> ProgramResult:
+def _adapt_runner(model, nprocs, workload, placement, trace=False, faults=None) -> ProgramResult:
     from repro.apps.adapt import ADAPT_PROGRAMS, AdaptConfig, build_script
 
     cfg = workload or AdaptConfig()
@@ -28,24 +28,24 @@ def _adapt_runner(model: str, nprocs: int, workload, placement: str, trace: bool
     if script is None:
         script = build_script(cfg, nprocs)
         _script_cache[key] = script
-    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace)
+    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace, faults=faults)
 
 
-def _nbody_runner(model: str, nprocs: int, workload, placement: str, trace: bool = False) -> ProgramResult:
+def _nbody_runner(model, nprocs, workload, placement, trace=False, faults=None) -> ProgramResult:
     from repro.apps.nbody import NBODY_PROGRAMS, NBodyConfig
 
     cfg = workload or NBodyConfig()
-    return run_program(model, NBODY_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace)
+    return run_program(model, NBODY_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace, faults=faults)
 
 
-def _jacobi_runner(model: str, nprocs: int, workload, placement: str, trace: bool = False) -> ProgramResult:
+def _jacobi_runner(model, nprocs, workload, placement, trace=False, faults=None) -> ProgramResult:
     from repro.apps.jacobi import JACOBI_PROGRAMS, JacobiConfig
 
     cfg = workload or JacobiConfig()
-    return run_program(model, JACOBI_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace)
+    return run_program(model, JACOBI_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace, faults=faults)
 
 
-def _adapt3d_runner(model: str, nprocs: int, workload, placement: str, trace: bool = False) -> ProgramResult:
+def _adapt3d_runner(model, nprocs, workload, placement, trace=False, faults=None) -> ProgramResult:
     from repro.apps.adapt import ADAPT_PROGRAMS
     from repro.apps.adapt3d import Adapt3DConfig, build_script3d
 
@@ -55,7 +55,7 @@ def _adapt3d_runner(model: str, nprocs: int, workload, placement: str, trace: bo
     if script is None:
         script = build_script3d(cfg, nprocs)
         _script_cache[key] = script
-    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace)
+    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace, faults=faults)
 
 
 APPS = {
@@ -73,17 +73,35 @@ def run_app(
     workload: Any = None,
     placement: str = "first-touch",
     trace: bool = False,
+    faults: Any = None,
 ) -> ProgramResult:
     """Run one (app, model, nprocs) configuration on a fresh machine.
 
-    ``trace=True`` records structured communication events (returned on
-    ``ProgramResult.events``) without changing simulated time or results.
+    Args:
+        app: application name — one of :data:`APPS`
+            (``"adapt"``, ``"adapt3d"``, ``"nbody"``, ``"jacobi"``).
+        model: programming model (``"mpi"``, ``"shmem"``, ``"sas"``,
+            ``"hybrid"``).
+        nprocs: number of ranks/CPUs.
+        workload: app-specific config object (e.g. ``AdaptConfig``);
+            ``None`` uses the app's default workload.
+        placement: page-placement policy for shared data.
+        trace: record structured communication events (returned on
+            ``ProgramResult.events``) without changing simulated time
+            or results.
+        faults: fault-injection profile — a name from
+            :data:`repro.faults.PROFILES`, a
+            :class:`repro.faults.FaultProfile`, or ``None`` for the
+            fault-free machine (see ``docs/faults.md``).
+
+    Returns:
+        The :class:`ProgramResult` of the run.
     """
     try:
         runner = APPS[app]
     except KeyError:
         raise ValueError(f"unknown app {app!r}; choose from {sorted(APPS)}") from None
-    return runner(model, nprocs, workload, placement, trace=trace)
+    return runner(model, nprocs, workload, placement, trace=trace, faults=faults)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,150 @@
+"""Fault-recovery benchmark: what does surviving message loss cost?
+
+``run_fault_bench`` runs one application under every model at several
+processor counts, twice per configuration — fault-free and with a seeded
+:class:`repro.faults.FaultProfile` — and reports the recovery overhead:
+retransmissions / NACK bounces, added simulated nanoseconds, the relative
+slowdown and the resulting *goodput* (fault-free time / faulted time, the
+fraction of the machine's fault-free pace it still achieves).
+
+With ``verify=True`` (default) every faulted configuration also runs a
+second time with the same seed and the two runs are asserted identical —
+elapsed nanoseconds, fault counters and per-rank results — so the numbers
+can never come from nondeterministic injection.  ``write_bench_json``
+emits the record as ``BENCH_FAULTS.json`` for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+from repro.faults import resolve_profile
+from repro.harness.experiment import run_app
+
+__all__ = ["BENCH_FAULTS_FILENAME", "run_fault_bench", "write_fault_bench_json", "format_fault_bench"]
+
+BENCH_FAULTS_FILENAME = "BENCH_FAULTS.json"
+
+
+def _rank_checksum(result) -> str:
+    """Order-stable digest of the per-rank return values."""
+    import hashlib
+
+    blob = repr(result.rank_results).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def run_fault_bench(
+    app: str = "adapt",
+    models: Sequence[str] = ("mpi", "shmem", "sas"),
+    nprocs_list: Iterable[int] = (1, 4, 8),
+    profile: Any = "lossy",
+    seed: Optional[int] = None,
+    workload: Any = None,
+    placement: str = "first-touch",
+    verify: bool = True,
+) -> Dict[str, Any]:
+    """Measure per-model recovery overhead; returns the BENCH_FAULTS record.
+
+    Args:
+        app: application to drive (any :data:`repro.harness.APPS` key).
+        models: programming models to compare.
+        nprocs_list: processor counts to run at.
+        profile: fault profile name / :class:`FaultProfile`.
+        seed: overrides the profile's seed when given.
+        workload: app-specific config; ``None`` uses the default.
+        placement: page-placement policy.
+        verify: re-run every faulted configuration with the same seed
+            and assert bit-identical elapsed time, counters and rank
+            results (determinism guard).
+
+    Returns:
+        A JSON-ready record with one row per (model, nprocs): baseline
+        and faulted elapsed ns, retries, added ns, overhead percent,
+        goodput, and the per-run checksums.
+    """
+    prof = resolve_profile(profile, seed=seed)
+    rows = []
+    for model in models:
+        for n in nprocs_list:
+            base = run_app(app, model, n, workload, placement)
+            faulted = run_app(app, model, n, workload, placement, faults=prof)
+            if verify:
+                again = run_app(app, model, n, workload, placement, faults=prof)
+                if again.elapsed_ns != faulted.elapsed_ns:
+                    raise AssertionError(
+                        f"nondeterministic fault injection: {model} P={n} gave "
+                        f"{faulted.elapsed_ns} then {again.elapsed_ns} simulated ns"
+                    )
+                if again.fault_summary != faulted.fault_summary:
+                    raise AssertionError(
+                        f"nondeterministic fault counters for {model} P={n}"
+                    )
+                if _rank_checksum(again) != _rank_checksum(faulted):
+                    raise AssertionError(
+                        f"nondeterministic rank results for {model} P={n}"
+                    )
+            summary = faulted.fault_summary or {}
+            counters = summary.get("counters", {})
+            added_ns = faulted.elapsed_ns - base.elapsed_ns
+            rows.append(
+                {
+                    "model": model,
+                    "nprocs": n,
+                    "baseline_ns": base.elapsed_ns,
+                    "faulted_ns": faulted.elapsed_ns,
+                    "added_ns": added_ns,
+                    "overhead_pct": (
+                        100.0 * added_ns / base.elapsed_ns if base.elapsed_ns else 0.0
+                    ),
+                    "goodput": (
+                        base.elapsed_ns / faulted.elapsed_ns
+                        if faulted.elapsed_ns else 0.0
+                    ),
+                    "retries": summary.get("total_retries", 0),
+                    "drops": counters.get("drop", 0),
+                    "dups": counters.get("dup", 0),
+                    "delays": counters.get("delay", 0),
+                    "nacks": counters.get("nack", 0),
+                    "baseline_checksum": _rank_checksum(base),
+                    "faulted_checksum": _rank_checksum(faulted),
+                    "results_match_baseline": _rank_checksum(base)
+                    == _rank_checksum(faulted),
+                    "verified_deterministic": bool(verify),
+                }
+            )
+    return {
+        "benchmark": "fault-recovery",
+        "app": app,
+        "profile": prof.name,
+        "seed": prof.seed,
+        "placement": placement,
+        "rows": rows,
+    }
+
+
+def format_fault_bench(record: Dict[str, Any]) -> str:
+    """Human-readable table of one ``run_fault_bench`` record."""
+    lines = [
+        f"fault-recovery overhead: app={record['app']} "
+        f"profile={record['profile']} seed={record['seed']}",
+        f"{'model':>6} {'P':>3} {'retries':>8} {'nacks':>6} "
+        f"{'added ms':>10} {'overhead':>9} {'goodput':>8}",
+    ]
+    for r in record["rows"]:
+        lines.append(
+            f"{r['model']:>6} {r['nprocs']:>3} {r['retries']:>8} {r['nacks']:>6} "
+            f"{r['added_ns'] / 1e6:>10.3f} {r['overhead_pct']:>8.2f}% "
+            f"{r['goodput']:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def write_fault_bench_json(record: Dict[str, Any], path: Optional[str] = None) -> str:
+    """Write the record to ``BENCH_FAULTS.json``; returns the path."""
+    path = path or BENCH_FAULTS_FILENAME
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

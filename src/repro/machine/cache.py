@@ -49,6 +49,8 @@ class CacheModel:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        #: accesses replayed after a directory NACK (fault injection only)
+        self.nack_replays = 0
 
     # -- addressing ----------------------------------------------------------
 
@@ -275,6 +277,7 @@ class CacheModel:
             "misses": self.misses,
             "evictions": self.evictions,
             "writebacks": self.writebacks,
+            "nack_replays": self.nack_replays,
             "hit_rate": self.hit_rate,
             "resident": self.resident_lines(),
         }

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.faults import FaultPlane
 from repro.machine.cache import CacheModel
 from repro.machine.config import MachineConfig
 from repro.machine.memory import MemorySystem
@@ -75,6 +76,7 @@ class Directory:
         caches: List[CacheModel],
         stats: MachineStats,
         obs: Optional[EventLog] = None,
+        faults: Optional[FaultPlane] = None,
     ):
         self.config = config
         self.topology = topology
@@ -82,6 +84,7 @@ class Directory:
         self.caches = caches
         self.stats = stats
         self.obs = obs if obs is not None else EventLog()
+        self.faults = faults if faults is not None else FaultPlane()
         self._busy_until: List[float] = [0.0] * config.nnodes
         self._service_ns = config.line_bytes / config.mem_bandwidth_bpns
         # line-indexed protocol state, grown on demand (the address space is
@@ -161,10 +164,29 @@ class Directory:
         ``kind`` is one of ``"hit"``, ``"upgrade"``, ``"local"``,
         ``"remote"``, ``"dirty"`` and drives the per-CPU miss counters kept
         by the caller.
+
+        With fault injection enabled the home directory may transiently
+        NACK the request: the requesting cache backs off and replays, up to
+        ``profile.max_nacks`` consecutive bounces, each charging
+        ``profile.nack_retry_ns`` on top of the eventual transaction — the
+        CC-SAS analogue of a retransmission, invisible to software but not
+        to the stall breakdown.
         """
+        nack_ns = 0.0
+        if self.faults.enabled:
+            # only transactions that visit the directory can be NACKed:
+            # misses, and write hits needing an ownership upgrade
+            self._ensure_lines(line)
+            resident = self.caches[cpu].contains(line)
+            if not resident or (write and int(self._owner[line]) != cpu):
+                bounces = self.faults.nack_bounces(cpu, now_ns)
+                if bounces:
+                    nack_ns = bounces * self.faults.profile.nack_retry_ns
+                    self.caches[cpu].nack_replays += bounces
         obs = self.obs
         if obs.enabled and obs.coherence_detail:
-            latency, kind = self._transaction(cpu, line, write, now_ns)
+            latency, kind = self._transaction(cpu, line, write, now_ns + nack_ns)
+            latency += nack_ns
             home = self.memory.home_of_line(
                 line, self.config.line_bytes, self.config.node_of_cpu(cpu)
             )
@@ -175,7 +197,8 @@ class Directory:
                 attrs={"tx": kind, "line": int(line), "write": bool(write)},
             )
             return latency, kind
-        return self._transaction(cpu, line, write, now_ns)
+        latency, kind = self._transaction(cpu, line, write, now_ns + nack_ns)
+        return latency + nack_ns, kind
 
     def _transaction(self, cpu: int, line: int, write: bool, now_ns: float) -> Tuple[float, str]:
         cfg = self.config
@@ -284,8 +307,13 @@ class Directory:
         node = self.config.node_of_cpu(cpu)
         # queue folding needs service time < every miss latency (with margin
         # beyond float rounding), so that within one batch only the first
-        # remote fill per home can wait
-        fast = self.batch_enabled and self.config.local_mem_ns > self._service_ns + 1e-3
+        # remote fill per home can wait; fault injection forces the scalar
+        # protocol path so every transaction takes its own NACK draw
+        fast = (
+            self.batch_enabled
+            and not self.faults.enabled
+            and self.config.local_mem_ns > self._service_ns + 1e-3
+        )
         i = 0
         while i < n:
             scalar_run = n - i  # batch disabled: everything goes scalar

@@ -8,8 +8,9 @@ returns.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional
+from typing import Callable, Generator, List, Optional, Union
 
+from repro.faults import FaultPlane, FaultProfile, resolve_profile
 from repro.machine.cache import CacheModel
 from repro.machine.config import MachineConfig
 from repro.machine.directory import Directory
@@ -26,20 +27,42 @@ __all__ = ["Machine"]
 
 
 class Machine:
-    """A simulated Origin2000 ready to run SPMD programs."""
+    """A simulated Origin2000 ready to run SPMD programs.
+
+    Args:
+        config: machine structure and cost parameters (default: the
+            published Origin2000 numbers at ``nprocs=8``).
+        placement: NUMA page-placement policy for the memory system
+            (``"first-touch"``, ``"round-robin"``, or a node number).
+        trace: enable the legacy line tracer (``machine.tracer``);
+            structured observability uses ``machine.obs`` instead.
+        faults: a fault profile name, :class:`~repro.faults.FaultProfile`,
+            or ``None`` (default).  When given and non-inert, the machine's
+            fault plane injects seeded link/directory faults and the model
+            runtimes recover; when ``None`` the plane is disabled and every
+            hot path pays a single boolean check.
+
+    One instance is one simulation run: attach a model runtime from
+    :mod:`repro.models`, :meth:`spawn_rank` one coroutine per simulated
+    CPU, then :meth:`run` to advance virtual time to completion.
+    """
 
     def __init__(
         self,
         config: Optional[MachineConfig] = None,
         placement: str = "first-touch",
         trace: bool = False,
+        faults: Union[None, str, FaultProfile] = None,
     ):
         self.config = config or MachineConfig()
         self.engine = Engine()
         self.topology = Topology(self.config)
         self.stats = MachineStats.for_nprocs(self.config.nprocs)
         self.obs = EventLog()
-        self.network = Network(self.engine, self.topology, self.stats, obs=self.obs)
+        self.faults = FaultPlane(resolve_profile(faults))
+        self.network = Network(
+            self.engine, self.topology, self.stats, obs=self.obs, faults=self.faults
+        )
         self.memory = MemorySystem(self.config, policy=placement)
         self.caches: List[CacheModel] = [
             CacheModel(
@@ -52,7 +75,7 @@ class Machine:
         ]
         self.directory = Directory(
             self.config, self.topology, self.memory, self.caches, self.stats,
-            obs=self.obs,
+            obs=self.obs, faults=self.faults,
         )
         self.nodes: List[Node] = build_nodes(self.config)
         self.tracer = Tracer(enabled=trace)

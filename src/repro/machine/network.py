@@ -20,6 +20,7 @@ from typing import Generator, List
 
 from typing import Optional
 
+from repro.faults import FaultPlane
 from repro.machine.config import MachineConfig
 from repro.machine.stats import MachineStats
 from repro.machine.topology import Topology
@@ -40,12 +41,14 @@ class Network:
         topology: Topology,
         stats: MachineStats,
         obs: Optional[EventLog] = None,
+        faults: Optional[FaultPlane] = None,
     ):
         self.engine = engine
         self.topology = topology
         self.config: MachineConfig = topology.config
         self.stats = stats
         self.obs = obs if obs is not None else EventLog()
+        self.faults = faults if faults is not None else FaultPlane()
         self.link_resources: List[Resource] = [
             Resource(engine, capacity=1, name=repr(link))
             for link in topology.links
@@ -67,7 +70,15 @@ class Network:
     # -- the transfer primitive ---------------------------------------------------
 
     def transfer(self, src_node: int, dst_node: int, nbytes: int) -> Generator:
-        """Generator: completes when the last byte arrives at ``dst_node``."""
+        """Generator: completes when the last byte arrives at ``dst_node``.
+
+        Returns ``True`` when the payload was delivered.  With fault
+        injection enabled the transfer may be dropped in flight (returns
+        ``False``), stalled (a transient per-hop delay while the links are
+        held), or duplicated (the links carry the same bytes twice); with
+        the fault plane disabled it always returns ``True`` and is
+        bit-identical to the fault-free model.
+        """
         if PROFILER.enabled:
             return profile_generator(
                 "network", self._transfer(src_node, dst_node, nbytes)
@@ -86,21 +97,34 @@ class Network:
                     "net", t0, src_node, dst_node, nbytes,
                     dur=self.engine.now - t0,
                 )
-            return
+            return True
         self.stats.network_bytes += nbytes
         route = self.topology.route(src_node, dst_node)
+        hops = sum(1 for i in route if self.topology.links[i].kind == "cube")
+        dropped = False
+        extra_ns = 0.0
+        duplicated = False
+        if self.faults.enabled:
+            dropped, extra_ns, duplicated = self.faults.link_verdict(
+                src_node, dst_node, hops, self.engine.now
+            )
         held: List[Resource] = []
         try:
             for link_idx in route:
                 res = self.link_resources[link_idx]
                 yield from res.acquire()
                 held.append(res)
-            hops = sum(1 for i in route if self.topology.links[i].kind == "cube")
-            yield Delay(
+            pipe_ns = (
                 2 * self.config.hub_ns
                 + hops * self.config.router_hop_ns
                 + nbytes / self.config.link_bandwidth_bpns
             )
+            yield Delay(pipe_ns + extra_ns)
+            if duplicated:
+                # the spurious copy follows back-to-back on the same route;
+                # the receiver filters it, but the links pay for it
+                self.stats.network_bytes += nbytes
+                yield Delay(pipe_ns)
         finally:
             for res in reversed(held):
                 res.release()
@@ -108,6 +132,16 @@ class Network:
             self.obs.emit(
                 "net", t0, src_node, dst_node, nbytes, dur=self.engine.now - t0
             )
+            if dropped:
+                self.obs.emit("fault_drop", t0, src_node, dst_node, nbytes)
+            if duplicated:
+                self.obs.emit("fault_dup", t0, src_node, dst_node, nbytes)
+            if extra_ns > 0.0:
+                self.obs.emit(
+                    "fault_delay", t0, src_node, dst_node, nbytes,
+                    dur=extra_ns,
+                )
+        return not dropped
 
     def link_utilisations(self) -> List[float]:
         """Per-link utilisation over the run so far (diagnostics)."""

@@ -33,6 +33,8 @@ class ProgramResult:
     stats: "object"  # MachineStats
     phase_ns: Dict[str, float] = field(default_factory=dict)
     events: Optional[List[Any]] = None  # obs.Event stream when traced
+    #: fault-plane counter snapshot (None when fault injection was off)
+    fault_summary: Optional[Dict[str, Any]] = None
 
     @property
     def elapsed_ms(self) -> float:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, List, Optional
 
+from repro.faults import FaultRecoveryError
 from repro.machine.machine import Machine
 from repro.models.base import BaseContext
 from repro.models.mpi.requests import Request, Status
@@ -34,6 +35,7 @@ class _Msg:
         "payload",
         "nbytes",
         "eager",
+        "seq",
         "arrived",
         "matched",
         "bound",
@@ -46,6 +48,7 @@ class _Msg:
         self.payload = payload
         self.nbytes = nbytes
         self.eager = eager
+        self.seq = 0                  # per-(src, dst) channel sequence number
         self.arrived = False          # payload physically at receiver
         self.matched: Optional[Event] = None  # rendezvous: recv posted
         self.bound: Optional[Event] = None    # recv completion to fire on arrival
@@ -126,7 +129,23 @@ class MpiWorld:
 
 
 class MpiContext(BaseContext):
-    """The per-rank MPI handle (mpi4py-flavoured lower-case API)."""
+    """The per-rank MPI handle (mpi4py-flavoured lower-case API).
+
+    Exposes blocking/nonblocking point-to-point (:meth:`send`,
+    :meth:`isend`, :meth:`recv`, :meth:`irecv`, :meth:`sendrecv`), the
+    full collective suite (:meth:`barrier` ... :meth:`reduce_scatter`)
+    and communicator splitting (:meth:`comm_split`).  All methods are
+    generators driven by the simulation engine — call them with
+    ``yield from`` inside a rank program.
+
+    Messages below ``mpi_eager_bytes`` use the eager protocol (sender
+    buffers and returns); larger ones rendezvous (sender blocks until
+    the receive is posted).  When the machine's fault plane is active,
+    every inter-node transfer is covered by sequence-numbered
+    retransmission with exponential backoff (see
+    :meth:`_transfer_with_recovery`), so the API contract is unchanged
+    under message loss.
+    """
 
     model_name = "mpi"
 
@@ -136,6 +155,7 @@ class MpiContext(BaseContext):
         self.cfg = machine.config
         self._coll_seq = 0
         self._split_seq = 0
+        self._send_seq: dict = {}  # dst rank -> next channel sequence number
         # pin this rank's buffers to its own node (MPI processes are
         # single-node entities; all their memory is local)
         base = machine.memory.alloc(machine.config.page_bytes, page_aligned=True)
@@ -159,6 +179,8 @@ class MpiContext(BaseContext):
         yield from self.charged_delay("comm", self.cfg.mpi_os_ns)
         eager = size <= self.cfg.mpi_eager_bytes
         msg = _Msg(self.rank, dest, tag, payload, size, eager)
+        msg.seq = self._send_seq.get(dest, 0)
+        self._send_seq[dest] = msg.seq + 1
         completion = self.machine.engine.event(name=f"send:{self.rank}->{dest}")
         if eager:
             self.world.post_message(msg)
@@ -184,18 +206,59 @@ class MpiContext(BaseContext):
             )
         return Request("send", completion, self)
 
-    def _eager_transfer(self, msg: _Msg) -> Generator:
-        yield from self.machine.network.transfer(
-            self.cfg.node_of_cpu(msg.src), self.cfg.node_of_cpu(msg.dst), msg.nbytes
+    def _transfer_with_recovery(self, msg: _Msg) -> Generator:
+        """Move ``msg`` over the wire, retransmitting until it arrives.
+
+        Fault-free (the common case, and always when the fault plane is
+        off) this is exactly one ``network.transfer``.  When the plane
+        drops the message, the sender times out (``retry_timeout_ns``,
+        doubled by ``retry_backoff`` each attempt, as a real sliding-
+        window NIC would) and resends the same sequence number; the
+        receiver-side filter makes duplicates harmless.  Gives up with
+        :class:`FaultRecoveryError` after ``max_retries`` resends.
+        """
+        src_node = self.cfg.node_of_cpu(msg.src)
+        dst_node = self.cfg.node_of_cpu(msg.dst)
+        delivered = yield from self.machine.network.transfer(
+            src_node, dst_node, msg.nbytes
         )
+        if delivered:
+            return
+        faults = self.machine.faults
+        timeout = faults.profile.retry_timeout_ns
+        for attempt in range(1, faults.profile.max_retries + 1):
+            yield Delay(timeout)
+            faults.note_retry("mpi", timeout)
+            if self._obs.enabled:
+                self._obs.emit(
+                    "retry", self.now, msg.src, msg.dst, msg.nbytes,
+                    attrs={
+                        "model": "mpi",
+                        "attempt": attempt,
+                        "seq": msg.seq,
+                        "wait_ns": timeout,
+                    },
+                )
+            timeout *= faults.profile.retry_backoff
+            delivered = yield from self.machine.network.transfer(
+                src_node, dst_node, msg.nbytes
+            )
+            if delivered:
+                return
+        raise FaultRecoveryError(
+            f"mpi: message {msg.src}->{msg.dst} seq={msg.seq} tag={msg.tag} "
+            f"({msg.nbytes} B) undeliverable after "
+            f"{faults.profile.max_retries} retransmissions"
+        )
+
+    def _eager_transfer(self, msg: _Msg) -> Generator:
+        yield from self._transfer_with_recovery(msg)
         MpiWorld.deliver(msg)
 
     def _rendezvous_transfer(self, msg: _Msg, completion: Event) -> Generator:
         yield WaitEvent(msg.matched)
         yield Delay(self.cfg.mpi_rendezvous_ns)
-        yield from self.machine.network.transfer(
-            self.cfg.node_of_cpu(msg.src), self.cfg.node_of_cpu(msg.dst), msg.nbytes
-        )
+        yield from self._transfer_with_recovery(msg)
         MpiWorld.deliver(msg)
         completion.fire()
 

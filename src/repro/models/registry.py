@@ -8,8 +8,9 @@ per rank, runs the simulation to completion and returns a
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Union
 
+from repro.faults import FaultProfile
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
 from repro.models.base import BaseContext, ProgramResult
@@ -50,21 +51,47 @@ def run_program(
     placement: str = "first-touch",
     machine: Optional[Machine] = None,
     trace: bool = False,
+    faults: Union[None, str, FaultProfile] = None,
 ) -> ProgramResult:
     """Run ``program(ctx, *args)`` on every rank under ``model``.
 
     ``program`` must be a generator function taking the model context as its
     first argument.  Extra ``args`` are passed through to every rank.
-    With ``trace=True``, the machine's :class:`repro.obs.events.EventLog`
-    records structured communication events; they come back on
-    ``ProgramResult.events`` (simulated times and results are bit-identical
-    to an untraced run).
+
+    Args:
+        model: one of :data:`MODEL_NAMES` (``"mpi"``, ``"shmem"``,
+            ``"sas"``, ``"hybrid"``).
+        program: generator function ``program(ctx, *args)`` — the SPMD
+            rank body, driven by the simulation engine.
+        nprocs: number of ranks (and CPUs, unless ``machine`` is given).
+        config: machine configuration; defaults to
+            ``MachineConfig(nprocs=nprocs)``.
+        placement: page-placement policy for shared data
+            (``"first-touch"``, ``"round-robin"``, ...).
+        machine: reuse an existing :class:`Machine` instead of building
+            one (it must have at least ``nprocs`` CPUs).
+        trace: with ``True`` the machine's
+            :class:`repro.obs.events.EventLog` records structured
+            communication events; they come back on
+            ``ProgramResult.events`` (simulated times and results are
+            bit-identical to an untraced run).
+        faults: fault-injection profile — a name from
+            :data:`repro.faults.PROFILES` (e.g. ``"lossy"``), a
+            :class:`repro.faults.FaultProfile`, or ``None``/``"none"``
+            for the fault-free machine.  Ignored when ``machine`` is
+            supplied (the machine already owns its fault plane).
+
+    Returns:
+        A :class:`ProgramResult` with the simulated elapsed time, the
+        per-rank return values, machine statistics, per-phase times,
+        the event stream (when traced) and — when fault injection was
+        active — a ``fault_summary`` counter snapshot.
     """
     if machine is None:
         cfg = config or MachineConfig(nprocs=nprocs)
         if cfg.nprocs != nprocs:
             cfg = cfg.with_(nprocs=nprocs)
-        machine = Machine(cfg, placement=placement)
+        machine = Machine(cfg, placement=placement, faults=faults)
     elif machine.nprocs < nprocs:
         raise ValueError(f"machine has {machine.nprocs} CPUs < nprocs={nprocs}")
     if trace:
@@ -86,4 +113,5 @@ def run_program(
         stats=machine.stats,
         phase_ns=phase_ns,
         events=machine.obs.events if machine.obs.enabled else None,
+        fault_summary=machine.faults.summary() if machine.faults.enabled else None,
     )

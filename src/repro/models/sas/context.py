@@ -78,7 +78,22 @@ class SasWorld:
 
 
 class SasContext(BaseContext):
-    """The per-rank shared-address-space handle."""
+    """The per-rank shared-address-space handle.
+
+    Provides charged reads/writes over :class:`SharedArray` heaps
+    (:meth:`sread`, :meth:`swrite`, scattered ``*_idx`` variants and the
+    raw :meth:`stouch` chargers), named locks, global/group barriers and
+    :meth:`reduce_all`.  All methods are generators — drive them with
+    ``yield from`` inside a rank program.
+
+    Under fault injection the directory may NACK transactions that visit
+    it (misses and ownership upgrades); the cache controller retries in
+    bounded hardware time (``nack_retry_ns`` per bounce, at most
+    ``max_nacks`` bounces), which surfaces here as extra charged latency
+    on the affected access — no API change, exactly like real CC-NUMA
+    hardware.  With the fault plane off the cost model is bit-identical
+    to the NACK-free one.
+    """
 
     model_name = "sas"
 
@@ -139,6 +154,10 @@ class SasContext(BaseContext):
             memory = self.machine.memory
             line_bytes = self.cfg.line_bytes
             nlines = 0
+            nacks_before = (
+                self.machine.faults.counters["nack"]
+                if self.machine.faults.enabled else 0
+            )
         total = 0.0
         for line in lines:
             latency, kind = directory.transaction(self.rank, int(line), write, now + total)
@@ -181,6 +200,17 @@ class SasContext(BaseContext):
                 "coherence", now, self.rank, -1, moved * self.cfg.line_bytes,
                 dur=total, attrs=attrs,
             )
+            if self.machine.faults.enabled:
+                bounces = self.machine.faults.counters["nack"] - nacks_before
+                if bounces:
+                    nack_attrs: Dict[str, Any] = {"bounces": bounces}
+                    if label is not None:
+                        nack_attrs["label"] = label
+                    self._obs.emit(
+                        "fault_nack", now, self.rank, -1,
+                        dur=bounces * self.machine.faults.profile.nack_retry_ns,
+                        attrs=nack_attrs,
+                    )
         return total
 
     def stouch(self, arr: SharedArray, lo: int = 0, hi: Optional[int] = None, write: bool = False) -> Generator:

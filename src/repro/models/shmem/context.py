@@ -17,6 +17,7 @@ from typing import Any, Generator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.faults import FaultRecoveryError
 from repro.machine.machine import Machine
 from repro.models.base import BaseContext
 from repro.models.shmem.symmetric import SymmetricArray, SymmetricHeap
@@ -91,7 +92,25 @@ class ShmemWorld:
 
 
 class ShmemContext(BaseContext):
-    """The per-rank SHMEM handle."""
+    """The per-rank SHMEM handle.
+
+    One-sided data movement (:meth:`put`, :meth:`get`, :meth:`iput`,
+    :meth:`iget`), remote atomics (:meth:`atomic_fetch_add`,
+    :meth:`atomic_cswap`, :meth:`atomic_finc`), distributed locks,
+    ordering (:meth:`quiet`, :meth:`fence`), :meth:`barrier_all` and
+    the SGI collective suite.  All methods are generators — drive them
+    with ``yield from`` inside a rank program.
+
+    When the machine's fault plane is active every remote operation
+    becomes *delivery-verified*: puts wait for a small acknowledgement
+    from the target and retransmit on loss, so an outstanding put's
+    completion event only fires once the data is really there — which
+    is exactly what makes :meth:`quiet`/:meth:`fence` (and therefore
+    :meth:`barrier_all`) honest under message loss.  Gets and atomics
+    retry their request/response round trips the same way (see
+    :meth:`_with_retries`).  With the plane off the protocol is
+    bit-identical to the ack-free fault-free model.
+    """
 
     model_name = "shmem"
 
@@ -101,6 +120,53 @@ class ShmemContext(BaseContext):
         self.cfg = machine.config
         self._outstanding: List[Event] = []
         self._coll_seq = 0
+
+    # -- loss recovery -------------------------------------------------------
+
+    def _with_retries(self, legs, what: str, peer: int, nbytes: int) -> Generator:
+        """Run a sequence of wire legs, retrying the lot until all deliver.
+
+        ``legs`` is a list of ``(src_node, dst_node, leg_bytes)`` transfers
+        that together form one logical operation (e.g. put data + ack, or
+        get request + response).  If any leg is dropped by the fault plane
+        the whole sequence is retransmitted after an exponentially
+        backed-off timeout — the initiator cannot tell *which* leg died,
+        only that no acknowledgement came back.  Raises
+        :class:`FaultRecoveryError` once ``max_retries`` is exhausted.
+        """
+        net = self.machine.network.transfer
+        ok = True
+        for src_node, dst_node, leg_bytes in legs:
+            delivered = yield from net(src_node, dst_node, leg_bytes)
+            ok = ok and delivered
+        if ok:
+            return
+        faults = self.machine.faults
+        timeout = faults.profile.retry_timeout_ns
+        for attempt in range(1, faults.profile.max_retries + 1):
+            yield Delay(timeout)
+            faults.note_retry("shmem", timeout)
+            if self._obs.enabled:
+                self._obs.emit(
+                    "retry", self.now, self.rank, peer, nbytes,
+                    attrs={
+                        "model": "shmem",
+                        "attempt": attempt,
+                        "what": what,
+                        "wait_ns": timeout,
+                    },
+                )
+            timeout *= faults.profile.retry_backoff
+            ok = True
+            for src_node, dst_node, leg_bytes in legs:
+                delivered = yield from net(src_node, dst_node, leg_bytes)
+                ok = ok and delivered
+            if ok:
+                return
+        raise FaultRecoveryError(
+            f"shmem: {what} {self.rank}->{peer} ({nbytes} B) undeliverable "
+            f"after {faults.profile.max_retries} retransmissions"
+        )
 
     # -- symmetric heap ------------------------------------------------------
 
@@ -160,9 +226,19 @@ class ShmemContext(BaseContext):
         nbytes: int,
         done: Event,
     ) -> Generator:
-        yield from self.machine.network.transfer(
-            self.node, self.cfg.node_of_cpu(target_rank), nbytes
-        )
+        target_node = self.cfg.node_of_cpu(target_rank)
+        if self.machine.faults.enabled:
+            # delivery-verified put: data leg + ack leg, retried on loss,
+            # so `done` (and hence quiet/fence) means the data arrived
+            yield from self._with_retries(
+                [
+                    (self.node, target_node, nbytes),
+                    (target_node, self.node, self.machine.faults.profile.ack_bytes),
+                ],
+                "put", target_rank, nbytes,
+            )
+        else:
+            yield from self.machine.network.transfer(self.node, target_node, nbytes)
         self._store(sym, target_rank, snapshot, offset)
         if self._obs.enabled:
             self._obs.emit(
@@ -207,8 +283,17 @@ class ShmemContext(BaseContext):
         if source_rank != self.rank:
             t0 = self.now
             src_node = self.cfg.node_of_cpu(source_rank)
-            yield from self.machine.network.transfer(self.node, src_node, _REQUEST_BYTES)
-            yield from self.machine.network.transfer(src_node, self.node, nbytes)
+            if self.machine.faults.enabled:
+                yield from self._with_retries(
+                    [
+                        (self.node, src_node, _REQUEST_BYTES),
+                        (src_node, self.node, nbytes),
+                    ],
+                    "get", source_rank, nbytes,
+                )
+            else:
+                yield from self.machine.network.transfer(self.node, src_node, _REQUEST_BYTES)
+                yield from self.machine.network.transfer(src_node, self.node, nbytes)
             self._charge("comm", self.now - t0)
         else:
             yield from self.charged_delay("comm", nbytes / self.cfg.shmem_copy_bpns)
@@ -386,9 +471,17 @@ class ShmemContext(BaseContext):
         )
 
     def _iput_transfer(self, sym, target_rank, snapshot, indices, nbytes, done) -> Generator:
-        yield from self.machine.network.transfer(
-            self.node, self.cfg.node_of_cpu(target_rank), nbytes
-        )
+        target_node = self.cfg.node_of_cpu(target_rank)
+        if self.machine.faults.enabled:
+            yield from self._with_retries(
+                [
+                    (self.node, target_node, nbytes),
+                    (target_node, self.node, self.machine.faults.profile.ack_bytes),
+                ],
+                "iput", target_rank, nbytes,
+            )
+        else:
+            yield from self.machine.network.transfer(self.node, target_node, nbytes)
         sym.copies[target_rank].reshape(-1)[indices] = snapshot.reshape(-1)
         if self._obs.enabled:
             self._obs.emit(
@@ -425,10 +518,18 @@ class ShmemContext(BaseContext):
         if source_rank != self.rank:
             t0 = self.now
             src_node = self.cfg.node_of_cpu(source_rank)
-            yield from self.machine.network.transfer(self.node, src_node, _REQUEST_BYTES)
-            yield from self.machine.network.transfer(
-                src_node, self.node, count * self.cfg.line_bytes
-            )
+            wire_bytes = count * self.cfg.line_bytes
+            if self.machine.faults.enabled:
+                yield from self._with_retries(
+                    [
+                        (self.node, src_node, _REQUEST_BYTES),
+                        (src_node, self.node, wire_bytes),
+                    ],
+                    "iget", source_rank, wire_bytes,
+                )
+            else:
+                yield from self.machine.network.transfer(self.node, src_node, _REQUEST_BYTES)
+                yield from self.machine.network.transfer(src_node, self.node, wire_bytes)
             self._charge("comm", self.now - t0)
         else:
             yield from self.charged_delay(

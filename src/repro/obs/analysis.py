@@ -51,7 +51,13 @@ def issuing_rank(ev: Event) -> int:
 def comm_matrix(
     events: Iterable[Event], nprocs: int, units: str = "bytes"
 ) -> np.ndarray:
-    """Per-pair traffic matrix: ``M[i][j]`` = bytes (or messages) i -> j."""
+    """Per-pair traffic matrix: ``M[i][j]`` = bytes (or messages) i -> j.
+
+    Counts the rank-to-rank flow kinds (:data:`RANK_FLOW_KINDS`:
+    messages, puts, gets, atomics, collective transfers); coherence
+    traffic has no rank-pair flow — use :func:`sas_home_matrix` for the
+    CC-SAS picture.  ``units`` is ``"bytes"`` or ``"messages"``.
+    """
     if units not in ("bytes", "messages"):
         raise ValueError(f"units must be 'bytes' or 'messages', got {units!r}")
     m = np.zeros((nprocs, nprocs), dtype=np.int64)
@@ -144,7 +150,11 @@ def phase_breakdown(events: Sequence[Event]) -> Dict[str, Dict[str, float]]:
 
 
 def summarize(events: Sequence[Event]) -> Dict[str, Dict[str, float]]:
-    """Totals per kind: count, bytes, simulated duration."""
+    """Totals per event kind: ``count``, ``bytes``, ``dur_ns``.
+
+    Works over any kind in the stream (including ``fault_*``/``retry``),
+    so it doubles as a quick recovery-overhead readout on faulted runs.
+    """
     out: Dict[str, Dict[str, float]] = {}
     for ev in events:
         row = out.setdefault(ev.kind, {"count": 0, "bytes": 0, "dur_ns": 0.0})

@@ -24,6 +24,13 @@ kind           meaning (``src``/``dst`` are ranks unless noted)
                ``homes`` — lines fetched per home node, str-keyed)
 ``phase``      one closed phase interval (``attrs``: name); ``dur`` spans it
 ``net``        one physical network transfer; ``src``/``dst`` are *nodes*
+``fault_drop`` a transfer died in flight; ``src``/``dst`` are *nodes*
+``fault_dup``  a spurious duplicate transfer was injected (*nodes*)
+``fault_delay`` transient link stall(s); ``dur`` is the injected stall time
+``fault_nack`` aggregated directory NACK bounces for one charged access
+               (``attrs``: bounces, label)
+``retry``      one recovery retransmission (``attrs``: model, attempt,
+               wait_ns, and seq/what for MPI/SHMEM respectively)
 =============  ================================================================
 
 ``t`` is the simulated-nanosecond issue time and ``dur`` the simulated
@@ -58,6 +65,11 @@ EVENT_KINDS = (
     "coherence",
     "phase",
     "net",
+    "fault_drop",
+    "fault_dup",
+    "fault_delay",
+    "fault_nack",
+    "retry",
 )
 
 

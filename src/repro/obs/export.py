@@ -29,7 +29,12 @@ _NS_PER_US = 1000.0  # trace_event timestamps are microseconds
 
 
 def to_jsonl(events: Sequence[Event], path_or_file: Union[str, IO[str]]) -> int:
-    """Write one JSON object per line; returns the number of events."""
+    """Write one compact JSON object per line; returns the event count.
+
+    The format is lossless (:func:`from_jsonl` round-trips it exactly)
+    and schema-agnostic: any event ``kind`` — including fault-injection
+    kinds added later — serialises the same way.
+    """
     if isinstance(path_or_file, str):
         with open(path_or_file, "w") as fh:
             return to_jsonl(events, fh)
@@ -69,7 +74,17 @@ def _slice(name: str, cat: str, ts_ns: float, dur_ns: float, pid: int, tid: int,
 
 
 def to_perfetto(events: Sequence[Event], nprocs: int) -> Dict[str, Any]:
-    """Build a ``trace_event`` JSON document (as a dict) from an event list."""
+    """Build a Chrome/Perfetto ``trace_event`` document (as a dict).
+
+    Lane layout: pid 0 = simulated ranks (one tid per rank, on the
+    issuing rank's lane), pid 1 = interconnect (one tid per node, from
+    ``net`` events).  Events with a positive ``dur`` become ``"X"``
+    complete slices; instantaneous ones become ``"i"`` instants.
+    Unknown kinds (e.g. ``fault_*``/``retry``) render generically as
+    ``kind`` (or ``kind:op``) slices, so new event types appear in the
+    timeline without exporter changes.  Open the written JSON at
+    https://ui.perfetto.dev.
+    """
     trace: List[Dict[str, Any]] = [
         {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
          "args": {"name": "simulated ranks"}},

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Documentation checker: links, anchors, and runnable code blocks.
+
+Run from the repository root (CI does)::
+
+    python tools/check_docs.py
+
+Three passes over every tracked markdown file:
+
+1. **Relative links** (``[text](path)``) must point at files that exist
+   (query strings stripped, ``http(s)``/``mailto`` links skipped).
+2. **Anchor links** (``[text](file.md#section)`` or ``[text](#section)``)
+   must match a heading in the target file, using GitHub's slug rules
+   (lowercase, punctuation dropped, spaces to dashes).
+3. **Python blocks in docs/ are executed** — every ```` ```python ````
+   fence in ``docs/*.md`` runs in its own namespace with ``src/`` on the
+   path, so the examples can never drift from the code.
+
+Exit status is nonzero on any failure; findings are printed per file.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    p
+    for pattern in ("*.md", "docs/*.md")
+    for p in ROOT.glob(pattern)
+    if "node_modules" not in p.parts
+)
+EXEC_DIRS = ("docs",)
+
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+_FENCE_RE = re.compile(r"```python\n(.*?)```", re.S)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # linked headings
+    heading = heading.lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = path.read_text()
+    return {github_slug(m) for m in _HEADING_RE.findall(text)}
+
+
+def check_links(path: Path) -> list:
+    problems = []
+    text = path.read_text()
+    # ignore links inside code fences (they are shell examples, not refs)
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        base = base.split("?")[0]
+        if base:
+            dest = (path.parent / base).resolve()
+            if not dest.exists():
+                problems.append(f"broken link: ({target}) -> {dest}")
+                continue
+        else:
+            dest = path
+        if anchor and dest.suffix == ".md":
+            if anchor not in anchors_of(dest):
+                problems.append(f"broken anchor: ({target}) — no heading #{anchor}")
+    return problems
+
+
+def run_blocks(path: Path) -> list:
+    problems = []
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        for i, block in enumerate(_FENCE_RE.findall(path.read_text())):
+            try:
+                exec(compile(block, f"{path.name}[block {i}]", "exec"), {})
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                problems.append(f"block {i} failed: {type(exc).__name__}: {exc}")
+    finally:
+        sys.path.remove(str(ROOT / "src"))
+    return problems
+
+
+def main() -> int:
+    failures = 0
+    for path in DOC_FILES:
+        rel = path.relative_to(ROOT)
+        problems = check_links(path)
+        if path.parent.name in EXEC_DIRS:
+            problems += run_blocks(path)
+        for p in problems:
+            print(f"{rel}: {p}")
+        failures += len(problems)
+    n_exec = sum(
+        len(_FENCE_RE.findall(p.read_text()))
+        for p in DOC_FILES
+        if p.parent.name in EXEC_DIRS
+    )
+    print(
+        f"checked {len(DOC_FILES)} markdown files, "
+        f"executed {n_exec} docs/ python blocks: "
+        + ("OK" if failures == 0 else f"{failures} problem(s)")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
