@@ -1,0 +1,90 @@
+"""R-F8 (extension): the sweep axis extended to P=64 and P=128.
+
+The paper's machine tops out at moderate processor counts; this extension
+deepens the simulated Origin2000 to a dimension-5 hypercube (32 routers)
+and runs the standard small adaptive workload under all three models at
+P = 16 … 128.  The claims locked in here are *completion and consistency*,
+not speedup: at mesh_n=8 the per-processor grain collapses long before
+P=128 (fewer elements than processors), which is exactly the regime the
+high-P columns are meant to expose.
+
+Checked shape:
+
+* every (model, P) cell completes, with bit-identical checksums across
+  the three models at every P;
+* the directory's sharer representation switches from the exact 64-bit
+  vector to a coarse vector past P=64, automatically;
+* P=128 runs traverse deep (dimension >= 3) hypercube hops.
+"""
+
+import pytest
+
+from conftest import MODELS, emit
+from repro.apps.adapt import ADAPT_PROGRAMS, AdaptConfig, build_script
+from repro.harness import format_table
+from repro.machine import Machine, MachineConfig
+from repro.machine.topology import Topology
+from repro.models.registry import run_program
+
+P_LIST = (16, 32, 64, 128)
+
+WL = AdaptConfig(mesh_n=8, phases=3, solver_iters=6)
+
+
+@pytest.fixture(scope="module")
+def f8_results():
+    out = {}
+    schemes = {}
+    scripts = {}
+    for p in P_LIST:
+        scripts[p] = build_script(WL, p)
+        schemes[p] = Machine(MachineConfig(nprocs=p)).directory.sharer_scheme.describe()
+        for model in MODELS:
+            out[(model, p)] = run_program(model, ADAPT_PROGRAMS[model], p, scripts[p])
+    rows = [
+        [model, p, out[(model, p)].elapsed_ms, schemes[p]]
+        for model in MODELS
+        for p in P_LIST
+    ]
+    table = format_table(
+        ["model", "P", "time_ms", "directory entry"],
+        rows,
+        title="R-F8: high-P sweep (adapt small workload)",
+    )
+    emit("f8_highp", table)
+    return out, scripts, schemes
+
+
+def test_f8_every_column_completes(f8_results):
+    out, _, _ = f8_results
+    for (model, p), res in out.items():
+        assert res.elapsed_ms > 0, f"{model} P={p} did not complete"
+        assert res.nprocs == p
+
+
+def test_f8_checksums_model_invariant(f8_results):
+    out, scripts, _ = f8_results
+    for (model, p), res in out.items():
+        assert res.rank_results[0] == pytest.approx(
+            scripts[p].reference_checksum, abs=1e-9
+        ), f"{model} P={p} checksum diverged"
+
+
+def test_f8_sharer_scheme_switches_past_width(f8_results):
+    _, _, schemes = f8_results
+    for p in P_LIST:
+        if p <= 64:
+            assert "exact" in schemes[p]
+        else:
+            assert "coarse" in schemes[p]
+
+
+def test_f8_deep_hops_only_past_32(f8_results):
+    for p in P_LIST:
+        topo = Topology(MachineConfig(nprocs=p))
+        deep = sum(
+            topo.deep_hops(a, b)
+            for a in range(topo.nnodes)
+            for b in range(topo.nnodes)
+        )
+        assert (deep > 0) == (p > 32)

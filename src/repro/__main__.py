@@ -8,6 +8,7 @@ Commands
 ``sweep``   app × model × P sweep with speedup table and ASCII chart
 ``micro``   the machine microbenchmarks (latency ladder, messaging)
 ``bench-sas`` host-time benchmark of the batched SAS memory pipeline
+``bench-net`` host-time benchmark of the batched network/MPI fast paths
 ``bench-faults`` per-model fault-recovery overhead (retries, goodput)
 ``effort``  the programming-effort (LoC) table
 ``describe`` the simulated machine for a given processor count
@@ -32,6 +33,38 @@ from repro.machine import Machine, MachineConfig
 
 _MODELS = ("mpi", "shmem", "sas")
 _APPS = ("adapt", "adapt3d", "nbody", "jacobi")
+
+#: hypercube depth ceiling: 128 CPUs = 32 routers = a dimension-5 cube
+_MAX_NPROCS = 128
+
+
+def _check_nprocs(n: int) -> int:
+    """Validate a CLI processor count before it reaches the machine model.
+
+    The bristled hypercube is only routable at power-of-two processor
+    counts (otherwise the router count is not a power of two and e-cube
+    routing has missing links), and the directory/topology models are
+    sized for at most 128 CPUs.  Reject bad counts here with a clear
+    message instead of a deep routing error.
+    """
+    if n < 1 or n > _MAX_NPROCS or (n & (n - 1)) != 0:
+        raise SystemExit(
+            f"error: invalid processor count {n}: -p/--nprocs must be a "
+            f"power of two between 1 and {_MAX_NPROCS} (the bristled "
+            "hypercube network is only routable at power-of-two counts)"
+        )
+    return n
+
+
+def _check_procs_list(spec: str) -> list:
+    """Parse and validate a comma-separated ``-p`` sweep list."""
+    try:
+        plist = [int(p) for p in spec.split(",") if p.strip()]
+    except ValueError:
+        raise SystemExit(f"error: invalid processor list {spec!r}")
+    if not plist:
+        raise SystemExit("error: empty processor list")
+    return [_check_nprocs(p) for p in plist]
 
 
 def _workload(app: str, size: str):
@@ -102,6 +135,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     app, model = _resolve_app_model(args)
     if model is None:
         raise SystemExit("error: model is required (positionally or via --model)")
+    _check_nprocs(args.nprocs)
     wl = _workload(app, args.size)
     if args.profile:
         from repro.harness.profile import PROFILER
@@ -163,6 +197,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     app, model = _resolve_app_model(args)
     if model is None:
         raise SystemExit("error: model is required (positionally or via --model)")
+    _check_nprocs(args.nprocs)
     wl = _workload(app, args.size)
     result = run_app(app, model, args.nprocs, wl, trace=True)
     events = result.events or []
@@ -194,6 +229,7 @@ def cmd_comm_matrix(args: argparse.Namespace) -> int:
     from repro.obs import comm_matrix, format_matrix, sas_home_matrix
 
     app, _ = _resolve_app_model(args)
+    _check_nprocs(args.nprocs)
     wl = _workload(app, args.size)
     cfg = MachineConfig(nprocs=args.nprocs)
     models = (args.model,) if args.model else _MODELS
@@ -225,6 +261,7 @@ def cmd_comm_matrix(args: argparse.Namespace) -> int:
 def cmd_bench_sas(args: argparse.Namespace) -> int:
     from repro.harness.profile import run_sas_microbench, write_bench_json
 
+    _check_nprocs(args.nprocs)
     record = run_sas_microbench(
         nprocs=args.nprocs, elements=args.elements, sweeps=args.sweeps
     )
@@ -255,6 +292,56 @@ def cmd_bench_sas(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_net(args: argparse.Namespace) -> int:
+    from repro.harness.netbench import run_net_microbench, write_net_bench_json
+
+    _check_nprocs(args.nprocs)
+    sweep_procs = _check_procs_list(args.procs)
+    record = run_net_microbench(
+        nprocs=args.nprocs,
+        flood=args.flood,
+        sweeps=args.sweeps,
+        sweep_procs=sweep_procs,
+        sweep_models=tuple(args.models.split(",")),
+        include_sweep=not args.no_sweep,
+        profile=not args.no_profile,
+    )
+    wl = record["workload"]
+    print(f"network/MPI fast-path benchmark (P={wl['nprocs']}, "
+          f"{wl['halo_pairs']} halo pairs, flood depth {wl['flood']})")
+    print(f"  simulated time : {record['simulated_ns'] / 1e6:.3f} ms "
+          f"(bit-identical batch on/off: {record['identical_simulated_ns']})")
+    print(f"  scalar paths   : {record['scalar']['host_seconds']:.3f} s host "
+          f"({record['scalar']['messages_per_sec']:,.0f} msgs/s)")
+    print(f"  batched paths  : {record['batch']['host_seconds']:.3f} s host "
+          f"({record['batch']['messages_per_sec']:,.0f} msgs/s)")
+    print(f"  host speedup   : {record['speedup']:.2f}x "
+          f"({record['fast_transfers']} fast transfers, "
+          f"{record['match']['vector_scans']} vector match scans)")
+    for row in record.get("sweep", ()):
+        print(f"  sweep          : {row['app']}/{row['model']} P={row['nprocs']} "
+              f"-> {row['elapsed_ms']:.3f} ms sim in {row['host_seconds']:.2f} s host "
+              f"[{row['sharer_scheme']}]")
+    path = write_net_bench_json(record, args.output)
+    print(f"  wrote {path}")
+    if args.require_batch:
+        from repro.machine import Machine, MachineConfig
+
+        machine = Machine(MachineConfig(nprocs=args.nprocs))
+        if not machine.network.batch_enabled:
+            print("ERROR: batched network path is not enabled by default",
+                  file=sys.stderr)
+            return 1
+    if args.min_speedup > 0 and record["speedup"] < args.min_speedup:
+        print(
+            f"ERROR: host speedup {record['speedup']:.2f}x below the "
+            f"required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_bench_faults(args: argparse.Namespace) -> int:
     from repro.harness.faultbench import (
         format_fault_bench,
@@ -265,7 +352,7 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
     record = run_fault_bench(
         app=args.app,
         models=tuple(args.models.split(",")),
-        nprocs_list=[int(p) for p in args.procs.split(",")],
+        nprocs_list=_check_procs_list(args.procs),
         profile=args.profile,
         seed=args.seed,
         workload=_workload(args.app, args.size),
@@ -291,7 +378,7 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     wl = _workload(args.app, args.size)
-    plist = [int(p) for p in args.procs.split(",")]
+    plist = _check_procs_list(args.procs)
     rows = sweep(args.app, models=args.models.split(","), nprocs_list=plist, workload=wl)
     print(
         format_table(
@@ -309,6 +396,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_micro(args: argparse.Namespace) -> int:
+    _check_nprocs(args.nprocs)
     machine = Machine(MachineConfig(nprocs=args.nprocs))
     d = machine.directory
     # use lines in distinct pages so first-touch homes them independently
@@ -364,6 +452,7 @@ def cmd_paper(args: argparse.Namespace) -> int:
 
 
 def cmd_describe(args: argparse.Namespace) -> int:
+    _check_nprocs(args.nprocs)
     machine = Machine(MachineConfig(nprocs=args.nprocs))
     print(machine.describe())
     cfg = machine.config
@@ -451,6 +540,26 @@ def main(argv=None) -> int:
     p.add_argument("--min-speedup", type=float, default=0.0,
                    help="with --require-batch: fail below this host speedup")
     p.set_defaults(fn=cmd_bench_sas)
+
+    p = sub.add_parser("bench-net",
+                       help="host-time benchmark of the batched network/MPI paths")
+    p.add_argument("-n", "--nprocs", type=int, default=128)
+    p.add_argument("--flood", type=int, default=384,
+                   help="unexpected-queue flood depth per rank")
+    p.add_argument("--sweeps", type=int, default=1)
+    p.add_argument("-p", "--procs", default="64,128",
+                   help="sweep-completion processor counts")
+    p.add_argument("-m", "--models", default="mpi,shmem,sas")
+    p.add_argument("--no-sweep", action="store_true",
+                   help="skip the per-model sweep-completion section")
+    p.add_argument("--no-profile", action="store_true",
+                   help="skip the host-time profile section")
+    p.add_argument("-o", "--output", default=None, help="BENCH_NET.json path")
+    p.add_argument("--require-batch", action="store_true",
+                   help="fail unless the batched fast paths are enabled (CI)")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="fail below this host speedup (CI)")
+    p.set_defaults(fn=cmd_bench_net)
 
     p = sub.add_parser("bench-faults",
                        help="per-model fault-recovery overhead benchmark")

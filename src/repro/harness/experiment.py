@@ -2,8 +2,11 @@
 
 ``run_app("adapt", "mpi", 8)`` runs one configuration; ``sweep`` produces
 the rows behind every speedup figure in EXPERIMENTS.md.  Workload
-trajectories (the adapt script) are cached per (config, nprocs) because
-they are deterministic.
+trajectories (the adapt script) are deterministic, so they are cached —
+keyed on the *full* run signature (app, config, nprocs, placement, fault
+profile), not just (config, nprocs): two runs that differ only in
+placement or injected faults must never alias one cached script object,
+or state carried on the script could leak between configurations.
 """
 
 from __future__ import annotations
@@ -19,11 +22,21 @@ __all__ = ["APPS", "SweepRow", "run_app", "sweep"]
 _script_cache: Dict[Any, Any] = {}
 
 
+def _run_key(kind: str, cfg: Any, nprocs: int, placement: Any, faults: Any) -> tuple:
+    """Cache key covering everything that distinguishes one run setup.
+
+    Fault profiles are folded in by ``repr`` (profiles are small frozen
+    value objects; ``None`` stays ``None``) so an unhashable profile can
+    never poison the key, and distinct profiles never collide.
+    """
+    return (kind, cfg, nprocs, str(placement), None if faults is None else repr(faults))
+
+
 def _adapt_runner(model, nprocs, workload, placement, trace=False, faults=None) -> ProgramResult:
     from repro.apps.adapt import ADAPT_PROGRAMS, AdaptConfig, build_script
 
     cfg = workload or AdaptConfig()
-    key = ("adapt", cfg, nprocs)
+    key = _run_key("adapt", cfg, nprocs, placement, faults)
     script = _script_cache.get(key)
     if script is None:
         script = build_script(cfg, nprocs)
@@ -50,7 +63,7 @@ def _adapt3d_runner(model, nprocs, workload, placement, trace=False, faults=None
     from repro.apps.adapt3d import Adapt3DConfig, build_script3d
 
     cfg = workload or Adapt3DConfig()
-    key = ("adapt3d", cfg, nprocs)
+    key = _run_key("adapt3d", cfg, nprocs, placement, faults)
     script = _script_cache.get(key)
     if script is None:
         script = build_script3d(cfg, nprocs)

@@ -1,0 +1,221 @@
+"""High-P network/MPI host-time benchmark — writes ``BENCH_NET.json``.
+
+Two concerns, one record:
+
+* **Sweep completion** — the adapt application at P∈{64, 128} under all
+  three models, proving the deepened hypercube (routing tables, deep-hop
+  latency, per-link contention state) and the width-checked directory
+  sharer schemes carry the paper's sweep past its P=32 edge.
+* **Fast-path speedup** — an adapt-patterned MPI microbenchmark at P=128
+  (the application's own ghost-exchange pattern, plus a flood phase that
+  drives the unexpected queues deep) run twice: batched network-transfer +
+  vectorised match-queue paths on, then off
+  (``derived["net_batch"]/["mpi_match_batch"] = "off"``).  The two
+  simulated timelines are asserted bit-identical before any speedup is
+  reported, exactly like ``run_sas_microbench`` in PR 1.
+
+``python -m repro bench-net`` is the CLI face; CI gates on
+``--require-batch --min-speedup``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.models.registry import run_program
+from repro.sim.profile import PROFILER
+
+__all__ = ["run_net_microbench", "write_net_bench_json", "BENCH_FILENAME"]
+
+BENCH_FILENAME = "BENCH_NET.json"
+
+_HALO_TAG = 5
+_FLOOD_TAG = 100
+
+
+def _halo_pairs(nprocs: int) -> List[Tuple[int, int, int]]:
+    """The adapt application's own ghost-exchange pattern at this P.
+
+    Builds the deterministic adapt trajectory and takes the union of the
+    per-phase ghost sends: ``(src, dst, nbytes)`` triples.  This is the
+    exact communication skeleton ``adapt_mpi``'s halo exchange performs.
+    """
+    from repro.apps.adapt import AdaptConfig, build_script
+
+    cfg = AdaptConfig(mesh_n=8, phases=3, solver_iters=2)
+    script = build_script(cfg, nprocs)
+    merged: Dict[Tuple[int, int], int] = {}
+    for plan in script.phases:
+        for (p, q), ids in plan.ghost_sends.items():
+            nbytes = max(int(len(ids)) * 8, 8)
+            key = (int(p), int(q))
+            merged[key] = max(merged.get(key, 0), nbytes)
+    return [(p, q, nb) for (p, q), nb in sorted(merged.items())]
+
+
+def _halo_flood_program(ctx, pairs, flood: int, sweeps: int) -> Generator:
+    """Per-rank MPI workload: halo exchange + unexpected-queue flood.
+
+    The halo sweep replays the adapt ghost pattern (irecv/isend/waitall
+    per phase).  The flood phase pairs each rank with its node partner,
+    sends ``flood`` small eager messages and drains them in *reverse* tag
+    order, so every receive scans the whole unexpected queue — the
+    matching pattern that makes the scalar list scan O(flood²).
+    """
+    me = ctx.rank
+    for _ in range(sweeps):
+        reqs = []
+        for (p, q, nb) in pairs:
+            if q == me:
+                r = yield from ctx.irecv(p, tag=_HALO_TAG)
+                reqs.append(r)
+        for (p, q, nb) in pairs:
+            if p == me:
+                r = yield from ctx.isend(None, q, tag=_HALO_TAG, nbytes=nb)
+                reqs.append(r)
+        if reqs:
+            yield from ctx.waitall(reqs)
+        partner = me ^ 1
+        if partner < ctx.nprocs:
+            sreqs = []
+            for f in range(flood):
+                r = yield from ctx.isend(None, partner, tag=_FLOOD_TAG + f, nbytes=64)
+                sreqs.append(r)
+            for f in reversed(range(flood)):
+                yield from ctx.recv(partner, tag=_FLOOD_TAG + f)
+            yield from ctx.waitall(sreqs)
+        yield from ctx.barrier()
+    return float(ctx.now)
+
+
+def _one_run(nprocs: int, pairs, flood: int, sweeps: int, batch: str):
+    cfg = MachineConfig(
+        nprocs=nprocs, derived={"net_batch": batch, "mpi_match_batch": batch}
+    )
+    machine = Machine(cfg)
+    t0 = time.perf_counter()
+    result = run_program(
+        "mpi", _halo_flood_program, nprocs, pairs, flood, sweeps, machine=machine
+    )
+    host_s = time.perf_counter() - t0
+    return result, host_s, machine
+
+
+def _profile_sections(nprocs: int, pairs, flood: int) -> Dict[str, Dict[str, float]]:
+    """One profiled (single-sweep) run; returns the per-subsystem summary.
+
+    This is the ``repro.sim.profile`` breakdown that exposed the network
+    and MPI unexpected-queue paths as the post-PR-1 hot spots.
+    """
+    PROFILER.reset().enable()
+    try:
+        _one_run(nprocs, pairs, flood, 1, "on")
+    finally:
+        PROFILER.disable()
+    summary = PROFILER.summary()
+    PROFILER.reset()
+    return summary
+
+
+def run_net_microbench(
+    nprocs: int = 128,
+    flood: int = 384,
+    sweeps: int = 1,
+    compare: bool = True,
+    sweep_procs: Sequence[int] = (64, 128),
+    sweep_models: Sequence[str] = ("mpi", "shmem", "sas"),
+    include_sweep: bool = True,
+    profile: bool = True,
+) -> Dict[str, Any]:
+    """Benchmark the batched network/MPI fast paths; returns the record.
+
+    With ``compare=True`` the microbenchmark runs twice — both fast paths
+    on, then both forced off — and the simulated timelines are asserted
+    bit-identical (elapsed nanoseconds *and* the full statistics summary)
+    before the host-time speedup is computed.
+    """
+    pairs = _halo_pairs(nprocs)
+    result_on, host_on, machine_on = _one_run(nprocs, pairs, flood, sweeps, "on")
+    msgs = int(result_on.stats.network_messages)
+    record: Dict[str, Any] = {
+        "benchmark": "net-halo-flood",
+        "workload": {
+            "model": "mpi",
+            "nprocs": nprocs,
+            "flood": flood,
+            "sweeps": sweeps,
+            "halo_pairs": len(pairs),
+        },
+        "simulated_ns": result_on.elapsed_ns,
+        "network_messages": msgs,
+        "fast_transfers": int(machine_on.network.batch_fast_transfers),
+        "match": machine_on.mpi_world.match_counters(),
+        "batch": {
+            "host_seconds": host_on,
+            "messages_per_sec": msgs / host_on if host_on > 0 else 0.0,
+        },
+        "net_batch_enabled": bool(machine_on.network.batch_enabled),
+        "mpi_match_batch_enabled": bool(machine_on.mpi_world.match_batch),
+    }
+    if compare:
+        result_off, host_off, machine_off = _one_run(nprocs, pairs, flood, sweeps, "off")
+        if result_off.elapsed_ns != result_on.elapsed_ns:
+            raise AssertionError(
+                "batched network/MPI fast paths diverged from the scalar "
+                f"pipeline: {result_on.elapsed_ns} ns (on) vs "
+                f"{result_off.elapsed_ns} ns (off)"
+            )
+        if result_off.stats.summary() != result_on.stats.summary():
+            raise AssertionError("batched network/MPI fast paths changed statistics")
+        if machine_off.network.batch_fast_transfers:
+            raise AssertionError("derived opt-out did not restore the scalar network path")
+        record["scalar"] = {
+            "host_seconds": host_off,
+            "messages_per_sec": msgs / host_off if host_off > 0 else 0.0,
+        }
+        record["speedup"] = host_off / host_on if host_on > 0 else float("inf")
+        record["identical_simulated_ns"] = True
+    if profile:
+        record["profile"] = _profile_sections(nprocs, pairs, flood)
+    if include_sweep:
+        record["sweep"] = _sweep_rows(sweep_procs, sweep_models)
+    return record
+
+
+def _sweep_rows(procs: Sequence[int], models: Sequence[str]) -> List[Dict[str, Any]]:
+    """One small-adapt run per (model, P): completion proof for the record."""
+    from repro.apps.adapt import AdaptConfig
+    from repro.harness.experiment import run_app
+
+    wl = AdaptConfig(mesh_n=8, phases=3, solver_iters=6)
+    rows: List[Dict[str, Any]] = []
+    for p in procs:
+        scheme = Machine(MachineConfig(nprocs=int(p))).directory.sharer_scheme.describe()
+        for model in models:
+            t0 = time.perf_counter()
+            res = run_app("adapt", model, int(p), wl)
+            rows.append(
+                {
+                    "app": "adapt",
+                    "model": model,
+                    "nprocs": int(p),
+                    "elapsed_ms": res.elapsed_ms,
+                    "host_seconds": time.perf_counter() - t0,
+                    "sharer_scheme": scheme,
+                    "completed": True,
+                }
+            )
+    return rows
+
+
+def write_net_bench_json(record: Dict[str, Any], path: Optional[str] = None) -> str:
+    """Write the benchmark record to ``BENCH_NET.json``; returns the path."""
+    path = path or BENCH_FILENAME
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

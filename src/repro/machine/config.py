@@ -53,6 +53,20 @@ class MachineConfig:
     router_hop_ns: float = 41.0        # per-hop pin-to-pin router delay
     hub_ns: float = 60.0               # hub traversal (node ↔ router)
     intra_node_copy_bpns: float = 0.62 # same-node "transfer" runs at memory b/w
+    # Beyond 32 CPUs (8 routers) the Origin2000 leaves the single-module
+    # CrayLink mesh: deep hypercube dimensions run over express/meta-router
+    # cables with longer flight time.  Hops in dimensions >= deep_dim_start
+    # pay the surcharge; machines with <= 8 routers never have such hops, so
+    # every P <= 32 configuration is bit-identical with or without it.
+    deep_dim_start: int = 3
+    deep_hop_extra_ns: float = 25.0    # per-hop surcharge on deep dimensions
+
+    # --- directory sharer representation ----------------------------------------
+    # The hardware directory entry holds a full presence bit-vector only up
+    # to this many CPUs; larger machines fall back to a coarse vector (each
+    # bit covers a group of CPUs) or a limited-pointer scheme — see
+    # repro.machine.sharers (selectable via derived["dir_sharers"]).
+    dir_exact_width: int = 64
 
     # --- MPI software layer -------------------------------------------------------
     mpi_eager_bytes: int = 16 * 1024
@@ -95,6 +109,12 @@ class MachineConfig:
             raise ValueError("line_bytes must be a power of two")
         if self.page_bytes % self.line_bytes:
             raise ValueError("page_bytes must be a multiple of line_bytes")
+        if self.deep_dim_start < 0:
+            raise ValueError(f"deep_dim_start must be >= 0, got {self.deep_dim_start}")
+        if self.deep_hop_extra_ns < 0:
+            raise ValueError(f"deep_hop_extra_ns must be >= 0, got {self.deep_hop_extra_ns}")
+        if self.dir_exact_width < 1:
+            raise ValueError(f"dir_exact_width must be >= 1, got {self.dir_exact_width}")
 
     @property
     def cycle_ns(self) -> float:

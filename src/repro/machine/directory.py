@@ -51,6 +51,7 @@ from repro.faults import FaultPlane
 from repro.machine.cache import CacheModel
 from repro.machine.config import MachineConfig
 from repro.machine.memory import MemorySystem
+from repro.machine.sharers import sharer_scheme_from_config
 from repro.machine.stats import MachineStats
 from repro.machine.topology import Topology
 from repro.obs.events import EventLog
@@ -87,6 +88,11 @@ class Directory:
         self.faults = faults if faults is not None else FaultPlane()
         self._busy_until: List[float] = [0.0] * config.nnodes
         self._service_ns = config.line_bytes / config.mem_bandwidth_bpns
+        # how the hardware entry represents the sharer set (exact bit-vector
+        # up to dir_exact_width CPUs, coarse/limited-pointer beyond); the
+        # exact matrix below stays the protocol ground truth either way and
+        # the scheme only scales the invalidation billing
+        self.sharer_scheme = sharer_scheme_from_config(config)
         # line-indexed protocol state, grown on demand (the address space is
         # dense): sharer bit-matrix and exclusive owner (-1 = none)
         self._cap = 0
@@ -545,8 +551,13 @@ class Directory:
         victims = victims[victims != cpu]
         owner = int(self._owner[line])
         extra_owner = owner >= 0 and owner != cpu and not row[owner]
-        k = int(victims.size) + (1 if extra_owner else 0)
-        if k == 0:
+        exact_k = int(victims.size) + (1 if extra_owner else 0)
+        # the billed count follows the hardware sharer representation: a
+        # coarse vector invalidates whole groups (spurious messages are
+        # billed but only true sharers lose their copy), limited pointers
+        # broadcast on overflow; the exact scheme bills exact_k
+        k = self.sharer_scheme.billable(row, cpu, exact_k)
+        if k == 0 and exact_k == 0:
             return 0.0
         for victim in victims.tolist():
             self.caches[victim].drop(line)

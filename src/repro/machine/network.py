@@ -6,19 +6,27 @@ Because link acquisition order is strictly increasing in the global link
 ranking (hub-out < cube dim 0 < cube dim 1 < ... < hub-in), circular waits
 are impossible and the network cannot deadlock.
 
-Cost of an uncontended transfer of ``n`` bytes over ``h`` router hops::
+Cost of an uncontended transfer of ``n`` bytes over ``h`` router hops
+(``d`` of them in deep hypercube dimensions, which exist only past 8
+routers / 32 CPUs)::
 
-    2*hub + h*router_hop + n / link_bandwidth        (inter-node)
-    n / intra_node_copy_bandwidth                    (same node)
+    2*hub + h*router_hop + d*deep_hop_extra + n / link_bandwidth   (inter-node)
+    n / intra_node_copy_bandwidth                                  (same node)
 
 Contention appears as queueing delay on busy links.
+
+The common case — every link of the route free, no faults — takes a batched
+fast path that claims the whole contention-free hop sequence inline and
+sleeps once, instead of driving each link through the generator-based
+``Resource.acquire``.  An uncontended acquire never yields to the engine, so
+the fast path is bit-identical in simulated time and statistics to the
+scalar loop (``config.derived["net_batch"] = "off"`` restores it; see
+``tests/test_invariants_highp.py``).
 """
 
 from __future__ import annotations
 
-from typing import Generator, List
-
-from typing import Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.faults import FaultPlane
 from repro.machine.config import MachineConfig
@@ -53,19 +61,41 @@ class Network:
             Resource(engine, capacity=1, name=repr(link))
             for link in topology.links
         ]
+        self.batch_enabled = (
+            str(self.config.derived.get("net_batch", "on")).lower()
+            not in ("off", "0", "false")
+        )
+        self.batch_fast_transfers = 0  # transfers that took the fast path
+        # per-route (resources, cube hops, static pipe ns) — the hot-path view
+        # of the routing table
+        self._route_cache: Dict[Tuple[int, int], Tuple[Tuple[Resource, ...], int, float]] = {}
 
     # -- cost helpers ---------------------------------------------------------
+
+    def _route_entry(self, src_node: int, dst_node: int) -> Tuple[Tuple[Resource, ...], int, float]:
+        key = (src_node, dst_node)
+        entry = self._route_cache.get(key)
+        if entry is None:
+            info = self.topology.route_info(src_node, dst_node)
+            static_ns = (
+                2 * self.config.hub_ns
+                + info.hops * self.config.router_hop_ns
+                + info.deep_hops * self.config.deep_hop_extra_ns
+            )
+            entry = (
+                tuple(self.link_resources[i] for i in info.links),
+                info.hops,
+                static_ns,
+            )
+            self._route_cache[key] = entry
+        return entry
 
     def pipe_ns(self, src_node: int, dst_node: int, nbytes: int) -> float:
         """Uncontended transfer time (used by analytic estimates and tests)."""
         if src_node == dst_node:
             return nbytes / self.config.intra_node_copy_bpns
-        hops = self.topology.router_hops(src_node, dst_node)
-        return (
-            2 * self.config.hub_ns
-            + hops * self.config.router_hop_ns
-            + nbytes / self.config.link_bandwidth_bpns
-        )
+        _, _, static_ns = self._route_entry(src_node, dst_node)
+        return static_ns + nbytes / self.config.link_bandwidth_bpns
 
     # -- the transfer primitive ---------------------------------------------------
 
@@ -99,8 +129,33 @@ class Network:
                 )
             return True
         self.stats.network_bytes += nbytes
-        route = self.topology.route(src_node, dst_node)
-        hops = sum(1 for i in route if self.topology.links[i].kind == "cube")
+        resources, hops, static_ns = self._route_entry(src_node, dst_node)
+        pipe_ns = static_ns + nbytes / self.config.link_bandwidth_bpns
+        if (
+            self.batch_enabled
+            and not self.faults.enabled
+            and all(r.in_use < r.capacity and not r._waiters for r in resources)
+        ):
+            # batched fast path: every hop of the route is contention-free, so
+            # claim the whole sequence inline (an uncontended acquire never
+            # yields — see Resource.acquire) and sleep exactly once.  Releases
+            # go through Resource.release so a waiter that arrived during the
+            # transfer gets the same FIFO handoff as on the scalar path.
+            self.batch_fast_transfers += 1
+            for r in resources:
+                r.total_acquires += 1
+                r._account()
+                r.in_use += 1
+            try:
+                yield Delay(pipe_ns)
+            finally:
+                for r in reversed(resources):
+                    r.release()
+            if self.obs.enabled:
+                self.obs.emit(
+                    "net", t0, src_node, dst_node, nbytes, dur=self.engine.now - t0
+                )
+            return True
         dropped = False
         extra_ns = 0.0
         duplicated = False
@@ -110,15 +165,9 @@ class Network:
             )
         held: List[Resource] = []
         try:
-            for link_idx in route:
-                res = self.link_resources[link_idx]
+            for res in resources:
                 yield from res.acquire()
                 held.append(res)
-            pipe_ns = (
-                2 * self.config.hub_ns
-                + hops * self.config.router_hop_ns
-                + nbytes / self.config.link_bandwidth_bpns
-            )
             yield Delay(pipe_ns + extra_ns)
             if duplicated:
                 # the spurious copy follows back-to-back on the same route;

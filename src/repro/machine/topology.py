@@ -11,11 +11,25 @@ global link ranking — see :mod:`repro.machine.network`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 from repro.machine.config import MachineConfig
 
-__all__ = ["Link", "Topology"]
+__all__ = ["Link", "RouteInfo", "Topology"]
+
+
+class RouteInfo(NamedTuple):
+    """One precomputed routing-table entry.
+
+    ``links`` are link indices in traversal order; ``hops`` counts the
+    router-to-router (cube) hops among them and ``deep_hops`` the subset in
+    dimensions >= ``config.deep_dim_start`` (the long-cable hops that pay
+    ``deep_hop_extra_ns`` — only machines with more than 8 routers have any).
+    """
+
+    links: Tuple[int, ...]
+    hops: int
+    deep_hops: int
 
 
 @dataclass(frozen=True)
@@ -56,7 +70,12 @@ class Topology:
         self.links: List[Link] = []
         self._link_index: Dict[Tuple[str, int, int], int] = {}
         self._build_links()
-        self._routes: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._routes: Dict[Tuple[int, int], RouteInfo] = {}
+        # power-of-two router counts (every valid Origin configuration) get
+        # their full routing table eagerly; degenerate router counts keep the
+        # lazy per-pair build so partially-routable machines still work
+        if self.nrouters & (self.nrouters - 1) == 0:
+            self.build_routing_tables()
 
     # -- construction -------------------------------------------------------
 
@@ -83,31 +102,62 @@ class Topology:
         rb = self.config.router_of_node(node_b)
         return bin(ra ^ rb).count("1")
 
+    def deep_hops(self, node_a: int, node_b: int) -> int:
+        """Hops in dimensions >= ``deep_dim_start`` between two nodes."""
+        ra = self.config.router_of_node(node_a)
+        rb = self.config.router_of_node(node_b)
+        return bin((ra ^ rb) >> self.config.deep_dim_start).count("1")
+
+    def build_routing_tables(self) -> None:
+        """Precompute :class:`RouteInfo` for every ordered node pair."""
+        for src in range(self.nnodes):
+            for dst in range(self.nnodes):
+                self.route_info(src, dst)
+
+    def route_info(self, src_node: int, dst_node: int) -> RouteInfo:
+        """The routing-table entry for ``src -> dst`` (cached)."""
+        key = (src_node, dst_node)
+        cached = self._routes.get(key)
+        if cached is not None:
+            return cached
+        info = self._compute_route(src_node, dst_node)
+        self._routes[key] = info
+        return info
+
+    def _compute_route(self, src_node: int, dst_node: int) -> RouteInfo:
+        if src_node == dst_node:
+            return RouteInfo((), 0, 0)
+        cfg = self.config
+        path: List[int] = [self._link_index[("hub-out", src_node, cfg.router_of_node(src_node))]]
+        cur = cfg.router_of_node(src_node)
+        target = cfg.router_of_node(dst_node)
+        hops = deep = 0
+        for d in range(self.dim):  # dimension-order routing
+            if (cur ^ target) & (1 << d):
+                nxt = cur ^ (1 << d)
+                idx = self._link_index.get(("cube", cur, nxt))
+                if idx is None:
+                    raise ValueError(
+                        f"unroutable node pair {src_node}->{dst_node}: the e-cube "
+                        f"hop router {cur}->router {nxt} does not exist because "
+                        f"{self.nrouters} routers is not a power of two; use a "
+                        "power-of-two processor count (1..128)"
+                    )
+                path.append(idx)
+                cur = nxt
+                hops += 1
+                if d >= cfg.deep_dim_start:
+                    deep += 1
+        path.append(self._link_index[("hub-in", target, dst_node)])
+        return RouteInfo(tuple(path), hops, deep)
+
     def route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
         """Link indices along the deterministic path ``src -> dst``.
 
         Empty for ``src == dst`` (intra-node traffic never enters the
         network).  Routes are cached.
         """
-        key = (src_node, dst_node)
-        cached = self._routes.get(key)
-        if cached is not None:
-            return cached
-        if src_node == dst_node:
-            self._routes[key] = ()
-            return ()
-        path: List[int] = [self._link_index[("hub-out", src_node, self.config.router_of_node(src_node))]]
-        cur = self.config.router_of_node(src_node)
-        target = self.config.router_of_node(dst_node)
-        for d in range(self.dim):  # dimension-order routing
-            if (cur ^ target) & (1 << d):
-                nxt = cur ^ (1 << d)
-                path.append(self._link_index[("cube", cur, nxt)])
-                cur = nxt
-        path.append(self._link_index[("hub-in", target, dst_node)])
-        route = tuple(path)
-        self._routes[key] = route
-        return route
+        return self.route_info(src_node, dst_node).links
 
     def describe(self) -> str:
         """Human-readable summary, used by examples and the harness."""

@@ -13,6 +13,7 @@ from typing import Any, Generator, List, Optional
 from repro.faults import FaultRecoveryError
 from repro.machine.machine import Machine
 from repro.models.base import BaseContext
+from repro.models.mpi.matchq import MatchQueue
 from repro.models.mpi.requests import Request, Status
 from repro.models.payload import nbytes_of
 from repro.sim.engine import Delay, Event, WaitEvent
@@ -74,10 +75,27 @@ class MpiWorld:
     def __init__(self, machine: Machine, nprocs: int):
         self.machine = machine
         self.nprocs = nprocs
-        self.mailbox: List[List[_Msg]] = [[] for _ in range(nprocs)]
-        self.pending: List[List[_PendingRecv]] = [[] for _ in range(nprocs)]
+        # vectorised first-match queues; derived["mpi_match_batch"]="off"
+        # restores the scalar list scan (host-time only — matching order is
+        # identical either way, see repro.models.mpi.matchq)
+        self.match_batch = (
+            str(machine.config.derived.get("mpi_match_batch", "on")).lower()
+            not in ("off", "0", "false")
+        )
+        self.mailbox: List[MatchQueue] = [MatchQueue(self.match_batch) for _ in range(nprocs)]
+        self.pending: List[MatchQueue] = [MatchQueue(self.match_batch) for _ in range(nprocs)]
         self._comm_ids: dict = {}
         self._next_comm_id = 0
+        machine.mpi_world = self  # benches/tests inspect queue counters post-run
+
+    def match_counters(self) -> dict:
+        """Aggregate matching statistics over every mailbox/pending queue."""
+        out = {"head_hits": 0, "vector_scans": 0, "scalar_scans": 0}
+        for q in self.mailbox + self.pending:
+            out["head_hits"] += q.head_hits
+            out["vector_scans"] += q.vector_scans
+            out["scalar_scans"] += q.scalar_scans
+        return out
 
     def comm_id_for(self, split_seq: int, color) -> int:
         """Stable unique id per (split call, color) across all ranks."""
@@ -94,22 +112,18 @@ class MpiWorld:
 
     def post_message(self, msg: _Msg) -> None:
         """Called at send-initiation; binds to an already-posted recv if any."""
-        queue = self.pending[msg.dst]
-        for i, recv in enumerate(queue):
-            if msg.matches(recv.source, recv.tag):
-                del queue[i]
-                self._bind(msg, recv.completion)
-                return
-        self.mailbox[msg.dst].append(msg)
+        recv = self.pending[msg.dst].pop_first(msg.src, msg.tag)
+        if recv is not None:
+            self._bind(msg, recv.completion)
+            return
+        self.mailbox[msg.dst].append(msg, msg.src, msg.tag)
 
     def post_recv(self, dst: int, source: int, tag: int, completion: Event) -> None:
-        box = self.mailbox[dst]
-        for i, msg in enumerate(box):
-            if msg.matches(source, tag):
-                del box[i]
-                self._bind(msg, completion)
-                return
-        self.pending[dst].append(_PendingRecv(source, tag, completion))
+        msg = self.mailbox[dst].pop_first(source, tag)
+        if msg is not None:
+            self._bind(msg, completion)
+            return
+        self.pending[dst].append(_PendingRecv(source, tag, completion), source, tag)
 
     @staticmethod
     def _bind(msg: _Msg, completion: Event) -> None:

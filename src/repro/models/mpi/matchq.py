@@ -1,0 +1,158 @@
+"""Vectorised MPI match queues (unexpected-message and posted-receive lists).
+
+MPI matching is FIFO-first-match: a probe scans the queue in append order
+and takes the first entry whose ``(source, tag)`` is compatible, where
+``-1`` (``ANY_SOURCE`` / ``ANY_TAG``) is a wildcard on either side.  The
+straightforward list scan is O(queue length) *per Python step*, which
+dominates host time once unexpected queues grow deep (flood patterns,
+reversed-order drains, P=128 halo exchanges).
+
+:class:`MatchQueue` keeps the entries in parallel NumPy ``(src, tag)``
+arrays next to the Python item list, so a probe is:
+
+* an O(1) head check first — the in-order sequence-run case (messages
+  drained in arrival order) never touches the arrays at all, and
+* one vectorised compare + ``argmax`` over the live slab otherwise.
+
+Popped slots become holes (sentinel ``-2``, distinct from the ``-1``
+wildcard) and the dead prefix is trimmed lazily.  Matching *order* is
+byte-for-byte the list-scan order, so simulated time cannot depend on the
+switch; ``batch=False`` (``config.derived["mpi_match_batch"] = "off"``)
+forces the scalar scan for the golden equivalence suite.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, List, Optional
+
+import numpy as np
+
+from repro.sim.profile import PROFILER
+
+__all__ = ["MatchQueue", "ANY", "DEAD"]
+
+ANY = -1   # wildcard source/tag (== mpi.ANY_SOURCE / mpi.ANY_TAG)
+DEAD = -2  # popped slot sentinel
+
+#: below this many live entries the plain Python scan beats NumPy setup
+_MIN_VECTOR = 32
+
+
+class MatchQueue:
+    """FIFO queue with first-match retrieval on ``(source, tag)`` keys."""
+
+    __slots__ = (
+        "_items", "_src", "_tag", "_head", "_size", "_nwild",
+        "batch", "head_hits", "vector_scans", "scalar_scans",
+    )
+
+    def __init__(self, batch: bool = True):
+        self._items: List[Any] = []
+        self._src = np.empty(64, dtype=np.int64)
+        self._tag = np.empty(64, dtype=np.int64)
+        self._head = 0          # first slot that may still be live
+        self._size = 0          # live entries
+        self._nwild = 0         # live entries carrying a wildcard key
+        self.batch = batch
+        self.head_hits = 0      # O(1) in-order matches
+        self.vector_scans = 0   # NumPy first-match scans
+        self.scalar_scans = 0   # Python-loop scans
+
+    # -- basics ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Any]:
+        """Live items in append order (used by ``iprobe`` and tests)."""
+        for item in self._items[self._head:]:
+            if item is not None:
+                yield item
+
+    def append(self, item: Any, src: int, tag: int) -> None:
+        n = len(self._items)
+        if n == self._src.size:
+            grown = np.empty(2 * n, dtype=np.int64)
+            grown[:n] = self._src
+            self._src = grown
+            grown = np.empty(2 * n, dtype=np.int64)
+            grown[:n] = self._tag
+            self._tag = grown
+        self._src[n] = src
+        self._tag[n] = tag
+        self._items.append(item)
+        self._size += 1
+        if src == ANY or tag == ANY:
+            self._nwild += 1
+
+    # -- first-match retrieval -------------------------------------------------
+
+    @staticmethod
+    def _compatible(a: int, b: int) -> bool:
+        return a == ANY or b == ANY or a == b
+
+    def pop_first(self, src: int, tag: int) -> Optional[Any]:
+        """Remove and return the first entry compatible with ``(src, tag)``."""
+        if not PROFILER.enabled:
+            return self._pop_first(src, tag)
+        t0 = time.perf_counter()
+        try:
+            return self._pop_first(src, tag)
+        finally:
+            PROFILER.add("mpi-match", time.perf_counter() - t0)
+
+    def _pop_first(self, src: int, tag: int) -> Optional[Any]:
+        items = self._items
+        n = len(items)
+        h = self._head
+        while h < n and items[h] is None:  # trim the dead prefix
+            h += 1
+        self._head = h
+        if self._size == 0:
+            if n:  # everything popped: recycle the storage
+                items.clear()
+                self._head = 0
+            return None
+        # O(1) head probe — the in-order drain case
+        if self._compatible(src, int(self._src[h])) and self._compatible(
+            tag, int(self._tag[h])
+        ):
+            self.head_hits += 1
+            return self._pop_at(h)
+        if self.batch and self._size >= _MIN_VECTOR:
+            self.vector_scans += 1
+            s = self._src[h:n]
+            t = self._tag[h:n]
+            if self._nwild == 0 and src != ANY and tag != ANY:
+                # concrete keys both sides (the mailbox common case): two
+                # compares, one in-place and, one argmax
+                mask = s == src
+                np.logical_and(mask, t == tag, out=mask)
+            else:
+                ms = (s != DEAD) if src == ANY else ((s == src) | (s == ANY))
+                mt = (t != DEAD) if tag == ANY else ((t == tag) | (t == ANY))
+                mask = ms & mt
+            i = int(mask.argmax())
+            if not mask[i]:
+                return None
+            return self._pop_at(h + i)
+        self.scalar_scans += 1
+        for i in range(h + 1, n):
+            if items[i] is None:
+                continue
+            if self._compatible(src, int(self._src[i])) and self._compatible(
+                tag, int(self._tag[i])
+            ):
+                return self._pop_at(i)
+        return None
+
+    def _pop_at(self, i: int) -> Any:
+        item = self._items[i]
+        if self._src[i] == ANY or self._tag[i] == ANY:
+            self._nwild -= 1
+        self._items[i] = None
+        self._src[i] = DEAD
+        self._tag[i] = DEAD
+        self._size -= 1
+        return item

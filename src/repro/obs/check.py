@@ -58,6 +58,11 @@ def _ranges_overlap(lo1: float, hi1: float, lo2: float, hi2: float) -> bool:
     return lo1 < hi2 and lo2 < hi1
 
 
+def _time_eps(t: float) -> float:
+    """Float-comparison slack for simulated timestamps (fractions of 1 ns)."""
+    return 1e-9 * (1.0 + abs(t))
+
+
 def _sync_times_by_rank(events: Sequence[Event]) -> Dict[int, List[float]]:
     """Per-rank sorted *completion* times of fence/quiet/barrier events."""
     out: Dict[int, List[float]] = {}
@@ -213,13 +218,19 @@ def _check_sas(events: Sequence[Event]) -> List[Violation]:
                 continue  # both under a common lock
             # barrier edge: for some barrier both ranks use, the writer's
             # first generation after the write must be <= the reader's last
-            # generation at the read (generations are nondecreasing per rank)
+            # generation at the read (generations are nondecreasing per rank).
+            # Barrier completion is reconstructed as t + dur, which can land
+            # an ulp away from the engine clock the accesses were stamped
+            # with (the sums accumulate differently), so the lookups carry a
+            # physically negligible tolerance — at P=128 the deeper barrier
+            # trees otherwise produce spurious same-instant violations.
             edged = False
             for name in barrier_names:
                 wt, wg = gens.get((w.src, name), ([], []))
                 rt, rg = gens.get((r.src, name), ([], []))
-                i = bisect_left(wt, w.t + w.dur)
-                j = bisect_right(rt, r.t) - 1
+                w_end = w.t + w.dur
+                i = bisect_left(wt, w_end - _time_eps(w_end))
+                j = bisect_right(rt, r.t + _time_eps(r.t)) - 1
                 if i < len(wg) and j >= 0 and rg[j] >= wg[i]:
                     edged = True
                     break

@@ -44,14 +44,14 @@ class TestRunApp:
 
     def test_adapt_script_is_cached(self):
         from repro.apps.adapt import AdaptConfig
-        from repro.harness.experiment import _script_cache
+        from repro.harness.experiment import _run_key, _script_cache
 
         cfg = AdaptConfig(mesh_n=6, phases=2, solver_iters=3)
         run_app("adapt", "mpi", 2, cfg)
-        key = ("adapt", cfg, 2)
+        key = _run_key("adapt", cfg, 2, "first-touch", None)
         assert key in _script_cache
         cached = _script_cache[key]
-        run_app("adapt", "shmem", 2, cfg)
+        run_app("adapt", "shmem", 2, cfg)  # same signature: reuses the script
         assert _script_cache[key] is cached
 
 
