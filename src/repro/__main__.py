@@ -9,6 +9,7 @@ Commands
 ``micro``   the machine microbenchmarks (latency ladder, messaging)
 ``bench-sas`` host-time benchmark of the batched SAS memory pipeline
 ``bench-net`` host-time benchmark of the batched network/MPI fast paths
+``bench-engine`` host-time benchmark of the batched event-engine core
 ``bench-faults`` per-model fault-recovery overhead (retries, goodput)
 ``effort``  the programming-effort (LoC) table
 ``describe`` the simulated machine for a given processor count
@@ -147,9 +148,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.faults import resolve_profile
 
         faults = resolve_profile(args.faults, seed=args.fault_seed)
+    derived = {"engine_batch": args.engine_batch} if args.engine_batch else None
     result = run_app(
         app, model, args.nprocs, wl, placement=args.placement, trace=traced,
-        faults=faults,
+        faults=faults, derived=derived,
     )
     agg = aggregate_breakdown(result)
     print(f"{app} under {model} on {args.nprocs} CPUs ({args.size} workload)")
@@ -342,6 +344,56 @@ def cmd_bench_net(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_engine(args: argparse.Namespace) -> int:
+    from repro.harness.enginebench import run_engine_microbench, write_engine_bench_json
+
+    _check_nprocs(args.nprocs)
+    record = run_engine_microbench(
+        nprocs=args.nprocs,
+        flood=args.flood,
+        sweeps=args.sweeps,
+        reps=args.reps,
+        equivalence_procs=_check_procs_list(args.procs),
+        equivalence_models=tuple(args.models.split(",")),
+        include_equivalence=not args.no_equivalence,
+        include_engine_only=not args.no_engine_only,
+    )
+    wl = record["workload"]
+    eng = record["engine"]
+    print(f"engine-core benchmark (P={wl['nprocs']}, {wl['halo_pairs']} halo pairs, "
+          f"flood depth {wl['flood']}, {wl['sweeps']} sweeps, "
+          f"min over {wl['reps']} interleaved reps)")
+    print(f"  simulated time : {record['simulated_ns'] / 1e6:.3f} ms "
+          f"(bit-identical batch on/off: {record['identical_simulated_ns']})")
+    print(f"  scalar stack   : {record['scalar']['host_seconds']:.3f} s host")
+    print(f"  batched stack  : {record['batch']['host_seconds']:.3f} s host")
+    print(f"  host speedup   : {record['speedup']:.2f}x "
+          f"({eng['events']} events, max cohort {eng['max_cohort']}, "
+          f"{eng['zero_lane_hits']} zero-lane hits, "
+          f"{record['timer_transfers']} timer transfers)")
+    if "engine_only" in record:
+        print(f"  engine only    : {record['engine_only']['speedup']:.2f}x "
+              "(cohort drain alone; network/match batching held on)")
+    for row in record.get("equivalence", ()):
+        print(f"  equivalence    : {row['model']:6s} P={row['nprocs']:<3d} "
+              f"{row['events']} events -> identical_trace={row['identical_trace']}")
+    path = write_engine_bench_json(record, args.output)
+    print(f"  wrote {path}")
+    if args.require_batch:
+        machine = Machine(MachineConfig(nprocs=args.nprocs))
+        if not machine.engine.batch_enabled:
+            print("ERROR: batched engine is not enabled by default", file=sys.stderr)
+            return 1
+    if args.min_speedup > 0 and record["speedup"] < args.min_speedup:
+        print(
+            f"ERROR: host speedup {record['speedup']:.2f}x below the "
+            f"required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_bench_faults(args: argparse.Namespace) -> int:
     from repro.harness.faultbench import (
         format_fault_bench,
@@ -499,6 +551,10 @@ def main(argv=None) -> int:
                         "(drizzle, lossy, stress, nacky, flaky-links)")
     p.add_argument("--fault-seed", type=int, default=None,
                    help="override the fault profile's seed")
+    p.add_argument("--engine-batch", choices=("on", "off"), default=None,
+                   help="force the batched event engine on or off "
+                        "(off restores the scalar one-event-at-a-time loop; "
+                        "simulated time is bit-identical either way)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("trace", help="traced run: event summary + export")
@@ -560,6 +616,29 @@ def main(argv=None) -> int:
     p.add_argument("--min-speedup", type=float, default=0.0,
                    help="fail below this host speedup (CI)")
     p.set_defaults(fn=cmd_bench_net)
+
+    p = sub.add_parser("bench-engine",
+                       help="host-time benchmark of the batched event-engine core")
+    p.add_argument("-n", "--nprocs", type=int, default=128)
+    p.add_argument("--flood", type=int, default=384,
+                   help="unexpected-queue flood depth per rank")
+    p.add_argument("--sweeps", type=int, default=2)
+    p.add_argument("--reps", type=int, default=3,
+                   help="interleaved repetitions per arm (min is reported)")
+    p.add_argument("-p", "--procs", default="1,8,64",
+                   help="processor counts for the per-model trace-equivalence rows")
+    p.add_argument("-m", "--models", default="mpi,shmem,sas,hybrid",
+                   help="models for the trace-equivalence rows")
+    p.add_argument("--no-equivalence", action="store_true",
+                   help="skip the per-model obs-trace equivalence section")
+    p.add_argument("--no-engine-only", action="store_true",
+                   help="skip the engine-core isolation arm")
+    p.add_argument("-o", "--output", default=None, help="BENCH_ENGINE.json path")
+    p.add_argument("--require-batch", action="store_true",
+                   help="fail unless the batched engine is enabled by default (CI)")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="fail below this host speedup (CI)")
+    p.set_defaults(fn=cmd_bench_engine)
 
     p = sub.add_parser("bench-faults",
                        help="per-model fault-recovery overhead benchmark")

@@ -1,0 +1,263 @@
+"""Engine-core host-time benchmark — writes ``BENCH_ENGINE.json``.
+
+The PR-6 tentpole restructures :mod:`repro.sim.engine` around a
+calendar/heap hybrid queue that drains same-timestamp cohorts in one
+pass, and threads that batching through network hop scheduling (fused
+``Hop`` protocol legs, ``Network.transfer_async`` timer transfers) and
+the MPI unexpected-queue match loop.  This benchmark measures what that
+bought on ``bench-net``'s own halo-flood workload at high P:
+
+* **headline** — the full batched stack (engine cohort drain + timer
+  transfers + indexed matching, all default-on) against the full scalar
+  stack (``derived["engine_batch"]/["net_batch"]/["mpi_match_batch"] =
+  "off"``), the same all-flags comparison ``bench-net`` itself reports;
+* **engine_only** — flipping *only* ``engine_batch`` while the network
+  and match fast paths stay on, isolating the cohort-drain/array-lane
+  contribution (reported for transparency, not gated on).
+
+Both arms are asserted bit-identical in simulated nanoseconds *and* the
+full statistics summary before any speedup is reported, and an optional
+equivalence section replays a small per-model workload (mpi, shmem,
+sas, hybrid) at several P, comparing the complete ``repro.obs`` event
+streams byte for byte.
+
+Host times are the **minimum over interleaved repetitions** — the two
+arms alternate within each rep, so machine noise (which easily reaches
+±30 % on shared hosts) cannot systematically favour one side.
+
+``python -m repro bench-engine`` is the CLI face; CI gates on
+``--require-batch --min-speedup``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.models.registry import run_program
+
+__all__ = [
+    "run_engine_microbench",
+    "write_engine_bench_json",
+    "BENCH_FILENAME",
+    "BATCHED_DERIVED",
+    "SCALAR_DERIVED",
+]
+
+BENCH_FILENAME = "BENCH_ENGINE.json"
+
+#: the two stacks under comparison (the headline arms)
+BATCHED_DERIVED: Dict[str, str] = {"engine_batch": "on"}
+SCALAR_DERIVED: Dict[str, str] = {
+    "engine_batch": "off",
+    "net_batch": "off",
+    "mpi_match_batch": "off",
+}
+#: engine-core isolation arm: only the cohort drain is disabled
+ENGINE_ONLY_DERIVED: Dict[str, str] = {"engine_batch": "off"}
+
+
+def _one_run(nprocs: int, pairs, flood: int, sweeps: int, derived: Dict[str, str]):
+    from repro.harness.netbench import _halo_flood_program
+
+    cfg = MachineConfig(nprocs=nprocs, derived=dict(derived))
+    machine = Machine(cfg)
+    t0 = time.perf_counter()
+    result = run_program(
+        "mpi", _halo_flood_program, nprocs, pairs, flood, sweeps, machine=machine
+    )
+    host_s = time.perf_counter() - t0
+    return result, host_s, machine
+
+
+# -- per-model equivalence workloads ------------------------------------------
+
+
+def _mpi_equiv_program(ctx, flood: int) -> Generator:
+    from repro.harness.netbench import _halo_flood_program, _halo_pairs
+
+    pairs = _halo_pairs(ctx.nprocs)
+    v = yield from _halo_flood_program(ctx, pairs, flood, 1)
+    return v
+
+
+def _shmem_equiv_program(ctx, nelems: int) -> Generator:
+    import numpy as np
+
+    sym = ctx.salloc("eq", nelems * ctx.nprocs)
+    data = np.full(nelems, float(ctx.rank))
+    right = (ctx.rank + 1) % ctx.nprocs
+    left = (ctx.rank - 1) % ctx.nprocs
+    for _ in range(2):
+        yield from ctx.put(sym, right, data, offset=ctx.rank * nelems)
+        yield from ctx.iput(sym, left, data[: nelems // 2], 2, offset=ctx.rank * nelems)
+        yield from ctx.quiet()
+        got = yield from ctx.get(sym, left, offset=left * nelems, count=nelems)
+        yield from ctx.barrier_all()
+        v = yield from ctx.sum_to_all(float(got[0]))
+        yield from ctx.compute(100.0)
+    return v
+
+
+def _sas_equiv_program(ctx, nelems: int) -> Generator:
+    arr = ctx.shalloc("eq", nelems * ctx.nprocs)
+    lo = ctx.rank * nelems
+    for _ in range(2):
+        yield from ctx.swrite(arr, [float(ctx.rank)] * nelems, lo=lo)
+        yield from ctx.barrier()
+        peer = (ctx.rank + 1) % ctx.nprocs
+        vals = yield from ctx.sread(arr, lo=peer * nelems, hi=peer * nelems + nelems)
+        v = yield from ctx.reduce_all(float(vals[0]))
+        yield from ctx.compute(100.0)
+    return v
+
+
+def _hybrid_equiv_program(ctx, flood: int) -> Generator:
+    # exercises both halves: node-scoped SAS barriers + MPI eager traffic
+    yield from ctx.node_barrier()
+    partner = ctx.rank ^ 1
+    if partner < ctx.nprocs:
+        reqs = []
+        for f in range(flood):
+            r = yield from ctx.mpi.isend(None, partner, tag=300 + f, nbytes=64)
+            reqs.append(r)
+        for f in reversed(range(flood)):
+            yield from ctx.mpi.recv(partner, tag=300 + f)
+        yield from ctx.mpi.waitall(reqs)
+    yield from ctx.node_barrier()
+    v = yield from ctx.allreduce(float(ctx.rank))
+    return v
+
+
+_EQUIV_PROGRAMS = {
+    "mpi": (_mpi_equiv_program, (8,)),
+    "shmem": (_shmem_equiv_program, (32,)),
+    "sas": (_sas_equiv_program, (32,)),
+    "hybrid": (_hybrid_equiv_program, (8,)),
+}
+
+
+def _trace_fingerprint(result) -> Tuple:
+    """Everything the golden suite locks: time, events, per-rank stats."""
+    events = tuple(
+        (e.kind, e.t, e.src, e.dst, e.nbytes, e.dur,
+         tuple(sorted((e.attrs or {}).items())))
+        for e in (result.events or ())
+    )
+    return (result.elapsed_ns, events, result.stats.summary())
+
+
+def equivalence_row(model: str, nprocs: int) -> Dict[str, Any]:
+    """Run one model at one P under both stacks; compare full obs traces."""
+    program, args = _EQUIV_PROGRAMS[model]
+    fps = {}
+    for name, derived in (("batched", BATCHED_DERIVED), ("scalar", SCALAR_DERIVED)):
+        cfg = MachineConfig(nprocs=nprocs, derived=dict(derived))
+        res = run_program(model, program, nprocs, *args, config=cfg, trace=True)
+        fps[name] = _trace_fingerprint(res)
+    return {
+        "model": model,
+        "nprocs": nprocs,
+        "events": len(fps["batched"][1]),
+        "identical_trace": fps["batched"] == fps["scalar"],
+    }
+
+
+def run_engine_microbench(
+    nprocs: int = 128,
+    flood: int = 384,
+    sweeps: int = 2,
+    reps: int = 3,
+    equivalence_procs: Sequence[int] = (1, 8, 64),
+    equivalence_models: Sequence[str] = ("mpi", "shmem", "sas", "hybrid"),
+    include_equivalence: bool = True,
+    include_engine_only: bool = True,
+) -> Dict[str, Any]:
+    """Benchmark the batched engine core; returns the ``BENCH_ENGINE`` record.
+
+    The headline ``speedup`` compares the full batched stack against the
+    full scalar stack (the pre-batching pipeline), interleaving ``reps``
+    repetitions of each arm and taking the per-arm minimum host time.
+    The two simulated timelines are asserted bit-identical first.
+    """
+    from repro.harness.netbench import _halo_pairs
+
+    pairs = _halo_pairs(nprocs)
+    host_on: List[float] = []
+    host_off: List[float] = []
+    host_engine_off: List[float] = []
+    result_on = result_off = None
+    machine_on = None
+    for _ in range(max(1, reps)):
+        result_on, s, machine_on = _one_run(nprocs, pairs, flood, sweeps, BATCHED_DERIVED)
+        host_on.append(s)
+        result_off, s, machine_off = _one_run(nprocs, pairs, flood, sweeps, SCALAR_DERIVED)
+        host_off.append(s)
+        if include_engine_only:
+            _, s, _ = _one_run(nprocs, pairs, flood, sweeps, ENGINE_ONLY_DERIVED)
+            host_engine_off.append(s)
+    if result_off.elapsed_ns != result_on.elapsed_ns:
+        raise AssertionError(
+            "batched engine diverged from the scalar pipeline: "
+            f"{result_on.elapsed_ns} ns (on) vs {result_off.elapsed_ns} ns (off)"
+        )
+    if result_off.stats.summary() != result_on.stats.summary():
+        raise AssertionError("batched engine changed machine statistics")
+    if machine_off.engine.batch_enabled:
+        raise AssertionError("derived opt-out did not restore the scalar engine")
+    best_on = min(host_on)
+    best_off = min(host_off)
+    engine = machine_on.engine
+    record: Dict[str, Any] = {
+        "benchmark": "engine-halo-flood",
+        "workload": {
+            "model": "mpi",
+            "nprocs": nprocs,
+            "flood": flood,
+            "sweeps": sweeps,
+            "halo_pairs": len(pairs),
+            "reps": max(1, reps),
+        },
+        "simulated_ns": result_on.elapsed_ns,
+        "identical_simulated_ns": True,
+        "network_messages": int(result_on.stats.network_messages),
+        "engine": engine.counters(),
+        "match": machine_on.mpi_world.match_counters(),
+        "fast_transfers": int(machine_on.network.batch_fast_transfers),
+        "timer_transfers": int(machine_on.network.timer_fast_transfers),
+        "batch": {"host_seconds": best_on, "all_reps": host_on},
+        "scalar": {"host_seconds": best_off, "all_reps": host_off},
+        "speedup": best_off / best_on if best_on > 0 else float("inf"),
+        "engine_batch_enabled": bool(engine.batch_enabled),
+    }
+    if include_engine_only:
+        best_eo = min(host_engine_off)
+        record["engine_only"] = {
+            "host_seconds": best_eo,
+            "all_reps": host_engine_off,
+            # cohort-drain contribution with net/match batching held on
+            "speedup": best_eo / best_on if best_on > 0 else float("inf"),
+        }
+    if include_equivalence:
+        record["equivalence"] = [
+            equivalence_row(model, p)
+            for model in equivalence_models
+            for p in equivalence_procs
+            if p <= 128
+        ]
+        if not all(row["identical_trace"] for row in record["equivalence"]):
+            bad = [r for r in record["equivalence"] if not r["identical_trace"]]
+            raise AssertionError(f"obs-trace divergence in equivalence rows: {bad}")
+    return record
+
+
+def write_engine_bench_json(record: Dict[str, Any], path: Optional[str] = None) -> str:
+    """Write the benchmark record to ``BENCH_ENGINE.json``; returns the path."""
+    path = path or BENCH_FILENAME
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -32,7 +32,16 @@ def _run_key(kind: str, cfg: Any, nprocs: int, placement: Any, faults: Any) -> t
     return (kind, cfg, nprocs, str(placement), None if faults is None else repr(faults))
 
 
-def _adapt_runner(model, nprocs, workload, placement, trace=False, faults=None) -> ProgramResult:
+def _machine_config(nprocs: int, derived: Optional[Dict[str, Any]]):
+    """Config for a run that overrides ``derived`` switches (else default)."""
+    if not derived:
+        return None
+    from repro.machine.config import MachineConfig
+
+    return MachineConfig(nprocs=nprocs, derived=dict(derived))
+
+
+def _adapt_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
     from repro.apps.adapt import ADAPT_PROGRAMS, AdaptConfig, build_script
 
     cfg = workload or AdaptConfig()
@@ -41,24 +50,24 @@ def _adapt_runner(model, nprocs, workload, placement, trace=False, faults=None) 
     if script is None:
         script = build_script(cfg, nprocs)
         _script_cache[key] = script
-    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace, faults=faults)
+    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
 
 
-def _nbody_runner(model, nprocs, workload, placement, trace=False, faults=None) -> ProgramResult:
+def _nbody_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
     from repro.apps.nbody import NBODY_PROGRAMS, NBodyConfig
 
     cfg = workload or NBodyConfig()
-    return run_program(model, NBODY_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace, faults=faults)
+    return run_program(model, NBODY_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
 
 
-def _jacobi_runner(model, nprocs, workload, placement, trace=False, faults=None) -> ProgramResult:
+def _jacobi_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
     from repro.apps.jacobi import JACOBI_PROGRAMS, JacobiConfig
 
     cfg = workload or JacobiConfig()
-    return run_program(model, JACOBI_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace, faults=faults)
+    return run_program(model, JACOBI_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
 
 
-def _adapt3d_runner(model, nprocs, workload, placement, trace=False, faults=None) -> ProgramResult:
+def _adapt3d_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
     from repro.apps.adapt import ADAPT_PROGRAMS
     from repro.apps.adapt3d import Adapt3DConfig, build_script3d
 
@@ -68,7 +77,7 @@ def _adapt3d_runner(model, nprocs, workload, placement, trace=False, faults=None
     if script is None:
         script = build_script3d(cfg, nprocs)
         _script_cache[key] = script
-    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace, faults=faults)
+    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
 
 
 APPS = {
@@ -87,6 +96,7 @@ def run_app(
     placement: str = "first-touch",
     trace: bool = False,
     faults: Any = None,
+    derived: Optional[Dict[str, Any]] = None,
 ) -> ProgramResult:
     """Run one (app, model, nprocs) configuration on a fresh machine.
 
@@ -106,6 +116,9 @@ def run_app(
             :data:`repro.faults.PROFILES`, a
             :class:`repro.faults.FaultProfile`, or ``None`` for the
             fault-free machine (see ``docs/faults.md``).
+        derived: extra ``MachineConfig.derived`` switches for this run
+            (e.g. ``{"engine_batch": "off"}`` to force the scalar
+            event loop) — ``None`` keeps the machine defaults.
 
     Returns:
         The :class:`ProgramResult` of the run.
@@ -114,7 +127,7 @@ def run_app(
         runner = APPS[app]
     except KeyError:
         raise ValueError(f"unknown app {app!r}; choose from {sorted(APPS)}") from None
-    return runner(model, nprocs, workload, placement, trace=trace, faults=faults)
+    return runner(model, nprocs, workload, placement, trace=trace, faults=faults, derived=derived)
 
 
 @dataclass(frozen=True)

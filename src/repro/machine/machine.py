@@ -55,7 +55,9 @@ class Machine:
         faults: Union[None, str, FaultProfile] = None,
     ):
         self.config = config or MachineConfig()
-        self.engine = Engine()
+        # derived["engine_batch"] = "off" restores the scalar reference loop
+        # (same simulated timeline, more host time) — mirrors sas_batch/net_batch
+        self.engine = Engine(batch=self.config.derived.get("engine_batch", "on") != "off")
         self.topology = Topology(self.config)
         self.stats = MachineStats.for_nprocs(self.config.nprocs)
         self.obs = EventLog()

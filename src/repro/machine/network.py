@@ -66,6 +66,7 @@ class Network:
             not in ("off", "0", "false")
         )
         self.batch_fast_transfers = 0  # transfers that took the fast path
+        self.timer_fast_transfers = 0  # transfers completed by an engine timer
         # per-route (resources, cube hops, static pipe ns) — the hot-path view
         # of the routing table
         self._route_cache: Dict[Tuple[int, int], Tuple[Tuple[Resource, ...], int, float]] = {}
@@ -191,6 +192,109 @@ class Network:
                     dur=extra_ns,
                 )
         return not dropped
+
+    def transfer_async(
+        self,
+        src_node: int,
+        dst_node: int,
+        nbytes: int,
+        on_delivered,
+        arg,
+        fallback_fn,
+        fallback_args: tuple = (),
+    ) -> bool:
+        """Timer fast path: deliver without spawning a transfer coroutine.
+
+        When the batched engine is active, the transfer is started by a
+        zero-delay timer (:meth:`_start_transfer`) that occupies exactly
+        the seq slot the scalar path's ``engine.spawn`` start entry would,
+        so completion ties between concurrent transfers order identically
+        in both modes.  At that slot, a contention-free route is claimed
+        inline and completed by a single arrival timer; a contended route
+        *adopts* ``fallback_fn(*fallback_args)`` — the caller's recovery-
+        capable transfer generator — running its first step immediately,
+        which is what the scalar engine would have been doing in that
+        slot.  Returns ``False`` without side effects when the caller must
+        spawn the fallback itself: scalar engine, fault injection, or host
+        profiling (so the ``network`` bucket stays truthful).  Either way
+        the simulated timeline is bit-identical.
+        """
+        engine = self.engine
+        if (
+            not engine.batch_enabled
+            or not self.batch_enabled
+            or self.faults.enabled
+            or PROFILER.enabled
+        ):
+            return False
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        engine.call_after(
+            0.0,
+            self._start_transfer,
+            (src_node, dst_node, nbytes, on_delivered, arg, fallback_fn, fallback_args),
+        )
+        return True
+
+    def _start_transfer(
+        self, src_node, dst_node, nbytes, on_delivered, arg, fallback_fn, fallback_args
+    ) -> None:
+        """Zero-delay timer leg of :meth:`transfer_async` (spawn-slot parity)."""
+        engine = self.engine
+        if src_node == dst_node:
+            self.stats.network_messages += 1
+            self.batch_fast_transfers += 1
+            self.timer_fast_transfers += 1
+            dur = nbytes / self.config.intra_node_copy_bpns
+            engine.call_after(
+                dur,
+                self._finish_local,
+                (engine.now, src_node, dst_node, nbytes, on_delivered, arg),
+            )
+            return
+        resources, _hops, static_ns = self._route_entry(src_node, dst_node)
+        for r in resources:
+            if r.in_use >= r.capacity or r._waiters:
+                # contended: run the caller's generator path from this very
+                # slot (no start entry, see Engine.adopt) — it re-walks the
+                # acquires exactly as the scalar engine would
+                engine.adopt(fallback_fn(*fallback_args), name="net-xfer")
+                return
+        self.stats.network_messages += 1
+        self.stats.network_bytes += nbytes
+        self.batch_fast_transfers += 1
+        self.timer_fast_transfers += 1
+        for r in resources:
+            r.total_acquires += 1
+            r._account()
+            r.in_use += 1
+        pipe_ns = static_ns + nbytes / self.config.link_bandwidth_bpns
+        engine.call_after(
+            pipe_ns,
+            self._finish_remote,
+            (engine.now, resources, src_node, dst_node, nbytes, on_delivered, arg),
+        )
+
+    def _finish_local(self, t0, src_node, dst_node, nbytes, on_delivered, arg) -> None:
+        if self.obs.enabled:
+            self.obs.emit(
+                "net", t0, src_node, dst_node, nbytes, dur=self.engine.now - t0
+            )
+        on_delivered(arg)
+
+    def _finish_remote(
+        self, t0, resources, src_node, dst_node, nbytes, on_delivered, arg
+    ) -> None:
+        # same completion order as the generator path: release the route
+        # (FIFO handoff to any waiter that queued up mid-flight), then the
+        # observation, then the delivery callback
+        for r in reversed(resources):
+            r.release()
+        if self.obs.enabled:
+            self.obs.emit(
+                "net", t0, src_node, dst_node, nbytes, dur=self.engine.now - t0
+            )
+        on_delivered(arg)
 
     def link_utilisations(self) -> List[float]:
         """Per-link utilisation over the run so far (diagnostics)."""

@@ -16,7 +16,7 @@ from repro.models.base import BaseContext
 from repro.models.mpi.matchq import MatchQueue
 from repro.models.mpi.requests import Request, Status
 from repro.models.payload import nbytes_of
-from repro.sim.engine import Delay, Event, WaitEvent
+from repro.sim.engine import Delay, Event, Hop, SimError, WaitEvent
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "MpiWorld", "MpiContext"]
 
@@ -24,6 +24,11 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 _COLL_TAG_BASE = 1 << 20
+
+# constant hot-path event names — per-message f-strings cost real host time
+# at P=128 and only ever surface in deadlock diagnostics
+_SEND_EVT = "send"
+_RECV_EVT = "recv"
 
 
 class _Msg:
@@ -69,6 +74,67 @@ class _PendingRecv:
         self.completion = completion
 
 
+class _FusedRecv:
+    """Completion slot for the fused (batched-engine) blocking receive.
+
+    Duck-types the only part of :class:`~repro.sim.engine.Event` the
+    matching layer uses — ``fire(msg)`` — but instead of waking a waiter
+    list it walks the exact seq-allocation sequence the scalar receive
+    would: one zero-delay entry (the ``WaitEvent`` resume), then the
+    receiver-side copy delay that resumes the parked rank with the
+    message.  Charges land at the same instants, in the same order, with
+    the same amounts as ``Request.wait`` + ``_finish_recv``.
+    """
+
+    __slots__ = ("ctx", "proc", "t0", "fired")
+
+    def __init__(self, ctx: "MpiContext", proc, t0: float):
+        self.ctx = ctx
+        self.proc = proc
+        self.t0 = t0      # when the wait began (post instant, = call + or_ns)
+        self.fired = False
+
+    def fire(self, msg: "_Msg") -> None:
+        if self.fired:
+            raise SimError(f"fused recv on rank {self.ctx.rank} fired twice")
+        self.fired = True
+        # seq parity: scalar fire() schedules the waiter's zero-delay resume
+        # here; the copy delay is allocated when that resume runs
+        self.ctx.machine.engine._schedule(0.0, None, (self._copy_leg, (msg,)))
+
+    def _copy_leg(self, msg: "_Msg") -> None:
+        ctx = self.ctx
+        engine = ctx.machine.engine
+        ctx._charge("comm", engine.now - self.t0)
+        copy_ns = msg.nbytes / ctx.cfg.mpi_copy_bpns
+        ctx._charge("comm", copy_ns)
+        # resume the parked rank at copy completion; pass the copy-start
+        # time through so the obs emit uses the exact float the scalar
+        # path would record
+        engine._schedule(copy_ns, self.proc, (msg, engine.now))
+
+
+def _isend_hop(proc, ctx: "MpiContext", msg: "_Msg") -> None:
+    """Timer leg of the fused eager isend: runs at send-initiation + os_ns.
+
+    Mirrors the scalar resume at the same instant: match the message, then
+    charge and schedule the sender-side buffer copy (one seq, allocated
+    here exactly as the scalar ``charged_delay`` would).
+    """
+    ctx.world.post_message(msg)
+    copy_ns = msg.nbytes / ctx.cfg.mpi_copy_bpns
+    ctx._charge("comm", copy_ns)
+    ctx.machine.engine._schedule(copy_ns, proc, None)
+
+
+def _recv_hop(proc, ctx: "MpiContext", source: int, tag: int) -> None:
+    """Timer leg of the fused blocking recv: runs at call + or_ns."""
+    ctx.world.post_recv(
+        ctx.rank, source, tag,
+        _FusedRecv(ctx, proc, ctx.machine.engine.now),
+    )
+
+
 class MpiWorld:
     """Shared matching state for one MPI job (one per Machine run)."""
 
@@ -84,15 +150,20 @@ class MpiWorld:
         )
         self.mailbox: List[MatchQueue] = [MatchQueue(self.match_batch) for _ in range(nprocs)]
         self.pending: List[MatchQueue] = [MatchQueue(self.match_batch) for _ in range(nprocs)]
+        # rank -> home node, precomputed: node_of_cpu is a per-message cost
+        self.node_of: List[int] = [
+            machine.config.node_of_cpu(r) for r in range(nprocs)
+        ]
         self._comm_ids: dict = {}
         self._next_comm_id = 0
         machine.mpi_world = self  # benches/tests inspect queue counters post-run
 
     def match_counters(self) -> dict:
         """Aggregate matching statistics over every mailbox/pending queue."""
-        out = {"head_hits": 0, "vector_scans": 0, "scalar_scans": 0}
+        out = {"head_hits": 0, "index_hits": 0, "vector_scans": 0, "scalar_scans": 0}
         for q in self.mailbox + self.pending:
             out["head_hits"] += q.head_hits
+            out["index_hits"] += q.index_hits
             out["vector_scans"] += q.vector_scans
             out["scalar_scans"] += q.scalar_scans
         return out
@@ -190,19 +261,63 @@ class MpiContext(BaseContext):
         t0 = self.now
         self.stats.msgs_sent += 1
         self.stats.bytes_sent += size
-        yield from self.charged_delay("comm", self.cfg.mpi_os_ns)
+        engine = self.machine.engine
         eager = size <= self.cfg.mpi_eager_bytes
+        if eager and engine.batch_enabled:
+            # fused fast path: one parked yield instead of two suspensions.
+            # The os-leg timer (_isend_hop) matches the message and schedules
+            # the buffer copy at exactly the scalar instants/seqs, so the
+            # timeline is bit-identical — only the host-side resume count
+            # drops (no charged_delay sub-generators, one gen.send).
+            self._charge("comm", self.cfg.mpi_os_ns)
+            msg = _Msg(self.rank, dest, tag, payload, size, True)
+            msg.seq = self._send_seq.get(dest, 0)
+            self._send_seq[dest] = msg.seq + 1
+            yield Hop(self.cfg.mpi_os_ns, _isend_hop, (self, msg))
+            completion = Event(engine, _SEND_EVT)
+            if not self.machine.network.transfer_async(
+                self.node,
+                self.world.node_of[dest],
+                msg.nbytes,
+                MpiWorld.deliver,
+                msg,
+                self._eager_transfer,
+                (msg,),
+            ):
+                # faults or host profiling active: spawned generator path
+                engine.spawn(
+                    self._eager_transfer(msg), name=f"mpi-xfer:{self.rank}->{dest}"
+                )
+            completion.fire()
+            if self._obs.enabled:
+                self._obs.emit(
+                    "msg_send", t0, self.rank, dest, size, dur=self.now - t0,
+                    attrs={"tag": tag, "eager": True, "coll": tag >= _COLL_TAG_BASE},
+                )
+            return Request("send", completion, self)
+        yield from self.charged_delay("comm", self.cfg.mpi_os_ns)
         msg = _Msg(self.rank, dest, tag, payload, size, eager)
         msg.seq = self._send_seq.get(dest, 0)
         self._send_seq[dest] = msg.seq + 1
-        completion = self.machine.engine.event(name=f"send:{self.rank}->{dest}")
+        completion = self.machine.engine.event(name=_SEND_EVT)
         if eager:
             self.world.post_message(msg)
             # copy into a system buffer, hand off to the network, done
             yield from self.charged_delay("comm", size / self.cfg.mpi_copy_bpns)
-            self.machine.engine.spawn(
-                self._eager_transfer(msg), name=f"mpi-xfer:{self.rank}->{dest}"
-            )
+            # batched engine: a timer chain replaces the transfer coroutine
+            # (bit-identical timeline, see Network.transfer_async)
+            if not self.machine.network.transfer_async(
+                self.node,
+                self.world.node_of[dest],
+                msg.nbytes,
+                MpiWorld.deliver,
+                msg,
+                self._eager_transfer,
+                (msg,),
+            ):
+                self.machine.engine.spawn(
+                    self._eager_transfer(msg), name=f"mpi-xfer:{self.rank}->{dest}"
+                )
             completion.fire()
         else:
             # the matched event must exist before the message becomes
@@ -279,7 +394,7 @@ class MpiContext(BaseContext):
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         """Nonblocking receive; returns a :class:`Request`."""
         yield from self.charged_delay("comm", self.cfg.mpi_or_ns)
-        completion = self.machine.engine.event(name=f"recv:{self.rank}")
+        completion = self.machine.engine.event(name=_RECV_EVT)
         self.world.post_recv(self.rank, source, tag, completion)
         return Request("recv", completion, self)
 
@@ -287,6 +402,23 @@ class MpiContext(BaseContext):
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG, status: Optional[Status] = None
     ) -> Generator:
         """Blocking receive; returns the payload."""
+        if self.machine.engine.batch_enabled:
+            # fused fast path: park once; the or-leg timer posts the receive
+            # and the match/arrival callbacks (see _FusedRecv) replay the
+            # scalar wait/copy seq allocations exactly, so the timeline and
+            # per-rank charges are bit-identical to irecv + wait
+            self._charge("comm", self.cfg.mpi_or_ns)
+            msg, t0 = yield Hop(self.cfg.mpi_or_ns, _recv_hop, (self, source, tag))
+            if status is not None:
+                status.source = msg.src
+                status.tag = msg.tag
+                status.nbytes = msg.nbytes
+            if self._obs.enabled:
+                self._obs.emit(
+                    "msg_recv", t0, msg.src, self.rank, msg.nbytes,
+                    dur=self.now - t0, attrs={"tag": msg.tag},
+                )
+            return msg.payload
         req = yield from self.irecv(source, tag)
         payload = yield from req.wait()
         if status is not None:

@@ -1,4 +1,4 @@
-"""Vectorised MPI match queues (unexpected-message and posted-receive lists).
+"""Fast MPI match queues (unexpected-message and posted-receive lists).
 
 MPI matching is FIFO-first-match: a probe scans the queue in append order
 and takes the first entry whose ``(source, tag)`` is compatible, where
@@ -7,24 +7,31 @@ straightforward list scan is O(queue length) *per Python step*, which
 dominates host time once unexpected queues grow deep (flood patterns,
 reversed-order drains, P=128 halo exchanges).
 
-:class:`MatchQueue` keeps the entries in parallel NumPy ``(src, tag)``
-arrays next to the Python item list, so a probe is:
+:class:`MatchQueue` answers a probe with:
 
 * an O(1) head check first — the in-order sequence-run case (messages
-  drained in arrival order) never touches the arrays at all, and
-* one vectorised compare + ``argmax`` over the live slab otherwise.
+  drained in arrival order) costs two integer compares, then
+* an O(1) bucket lookup in a ``(src, tag) -> positions`` index when both
+  the probe and every live entry carry concrete keys (the mailbox common
+  case — out-of-order drains land here instead of scanning), and
+* a vectorised NumPy compare + ``argmax`` over the live slab when
+  wildcards are involved and the queue is deep, falling back to a plain
+  Python scan on shallow queues.
 
 Popped slots become holes (sentinel ``-2``, distinct from the ``-1``
-wildcard) and the dead prefix is trimmed lazily.  Matching *order* is
-byte-for-byte the list-scan order, so simulated time cannot depend on the
-switch; ``batch=False`` (``config.derived["mpi_match_batch"] = "off"``)
-forces the scalar scan for the golden equivalence suite.
+wildcard) and the dead prefix is trimmed lazily; index buckets keep stale
+positions until they surface and are skipped (``items[pos] is None``), so
+pops never pay a deque removal.  Matching *order* is byte-for-byte the
+list-scan order, so simulated time cannot depend on the switch;
+``batch=False`` (``config.derived["mpi_match_batch"] = "off"``) forces the
+scalar scan for the golden equivalence suite.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Iterator, List, Optional
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,19 +50,24 @@ class MatchQueue:
     """FIFO queue with first-match retrieval on ``(source, tag)`` keys."""
 
     __slots__ = (
-        "_items", "_src", "_tag", "_head", "_size", "_nwild",
-        "batch", "head_hits", "vector_scans", "scalar_scans",
+        "_items", "_src", "_tag", "_head", "_size", "_nwild", "_index",
+        "batch", "head_hits", "index_hits", "vector_scans", "scalar_scans",
     )
 
     def __init__(self, batch: bool = True):
         self._items: List[Any] = []
-        self._src = np.empty(64, dtype=np.int64)
-        self._tag = np.empty(64, dtype=np.int64)
+        self._src: List[int] = []
+        self._tag: List[int] = []
         self._head = 0          # first slot that may still be live
         self._size = 0          # live entries
         self._nwild = 0         # live entries carrying a wildcard key
+        # (src, tag) -> append-ordered positions of concrete-key entries;
+        # positions go stale when popped via another route and are skipped
+        # lazily, so the deques never need mid-queue removal
+        self._index: Dict[Tuple[int, int], deque] = {}
         self.batch = batch
         self.head_hits = 0      # O(1) in-order matches
+        self.index_hits = 0     # O(1) bucket-index matches
         self.vector_scans = 0   # NumPy first-match scans
         self.scalar_scans = 0   # Python-loop scans
 
@@ -71,20 +83,17 @@ class MatchQueue:
                 yield item
 
     def append(self, item: Any, src: int, tag: int) -> None:
-        n = len(self._items)
-        if n == self._src.size:
-            grown = np.empty(2 * n, dtype=np.int64)
-            grown[:n] = self._src
-            self._src = grown
-            grown = np.empty(2 * n, dtype=np.int64)
-            grown[:n] = self._tag
-            self._tag = grown
-        self._src[n] = src
-        self._tag[n] = tag
         self._items.append(item)
+        self._src.append(src)
+        self._tag.append(tag)
         self._size += 1
         if src == ANY or tag == ANY:
             self._nwild += 1
+        elif self.batch:
+            bucket = self._index.get((src, tag))
+            if bucket is None:
+                self._index[(src, tag)] = bucket = deque()
+            bucket.append(len(self._items) - 1)
 
     # -- first-match retrieval -------------------------------------------------
 
@@ -112,38 +121,49 @@ class MatchQueue:
         if self._size == 0:
             if n:  # everything popped: recycle the storage
                 items.clear()
+                self._src.clear()
+                self._tag.clear()
                 self._head = 0
+                self._index.clear()
             return None
         # O(1) head probe — the in-order drain case
-        if self._compatible(src, int(self._src[h])) and self._compatible(
-            tag, int(self._tag[h])
+        hs = self._src[h]
+        ht = self._tag[h]
+        if (src == ANY or hs == ANY or src == hs) and (
+            tag == ANY or ht == ANY or tag == ht
         ):
             self.head_hits += 1
             return self._pop_at(h)
+        if self.batch and src != ANY and tag != ANY and self._nwild == 0:
+            # concrete keys on both sides and no wildcard entries live: the
+            # bucket's first live position IS the global first match, and an
+            # empty bucket proves no entry is compatible
+            bucket = self._index.get((src, tag))
+            if bucket:
+                while bucket:
+                    pos = bucket.popleft()
+                    if items[pos] is not None:
+                        self.index_hits += 1
+                        return self._pop_at(pos)
+            return None
         if self.batch and self._size >= _MIN_VECTOR:
             self.vector_scans += 1
-            s = self._src[h:n]
-            t = self._tag[h:n]
-            if self._nwild == 0 and src != ANY and tag != ANY:
-                # concrete keys both sides (the mailbox common case): two
-                # compares, one in-place and, one argmax
-                mask = s == src
-                np.logical_and(mask, t == tag, out=mask)
-            else:
-                ms = (s != DEAD) if src == ANY else ((s == src) | (s == ANY))
-                mt = (t != DEAD) if tag == ANY else ((t == tag) | (t == ANY))
-                mask = ms & mt
+            s = np.fromiter(self._src[h:n], dtype=np.int64, count=n - h)
+            t = np.fromiter(self._tag[h:n], dtype=np.int64, count=n - h)
+            ms = (s != DEAD) if src == ANY else ((s == src) | (s == ANY))
+            mt = (t != DEAD) if tag == ANY else ((t == tag) | (t == ANY))
+            mask = ms & mt
             i = int(mask.argmax())
             if not mask[i]:
                 return None
             return self._pop_at(h + i)
         self.scalar_scans += 1
+        srcs = self._src
+        tags = self._tag
         for i in range(h + 1, n):
             if items[i] is None:
                 continue
-            if self._compatible(src, int(self._src[i])) and self._compatible(
-                tag, int(self._tag[i])
-            ):
+            if self._compatible(src, srcs[i]) and self._compatible(tag, tags[i]):
                 return self._pop_at(i)
         return None
 

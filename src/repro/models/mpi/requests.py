@@ -27,11 +27,21 @@ class Request:
     non-blocking completion check.
     """
 
+    __slots__ = ("kind", "_completion", "_context", "_status")
+
     def __init__(self, kind: str, completion: Event, context: "object"):
         self.kind = kind  # "send" | "recv"
         self._completion = completion
         self._context = context
-        self.status = Status()
+        # Status is built on first access: send requests never touch it,
+        # and at P=128 the dataclass construction alone is measurable
+        self._status: Optional[Status] = None
+
+    @property
+    def status(self) -> Status:
+        if self._status is None:
+            self._status = Status()
+        return self._status
 
     @property
     def completed(self) -> bool:

@@ -212,10 +212,33 @@ class ShmemContext(BaseContext):
             return
         done = self.machine.engine.event(name=f"put:{self.rank}->{target_rank}")
         self._outstanding.append(done)
-        self.machine.engine.spawn(
-            self._put_transfer(sym, target_rank, snapshot, offset, nbytes, done),
-            name=f"shmem-put:{self.rank}->{target_rank}",
-        )
+        # timer fast path: deliver by network callback instead of spawning a
+        # per-put coroutine; transfer_async keeps spawn-slot seq parity, so
+        # the simulated timeline is bit-identical (see Network.transfer_async)
+        if not self.machine.network.transfer_async(
+            self.node,
+            self.cfg.node_of_cpu(target_rank),
+            nbytes,
+            self._put_delivered,
+            (sym, target_rank, snapshot, offset, nbytes, done),
+            self._put_transfer,
+            (sym, target_rank, snapshot, offset, nbytes, done),
+        ):
+            self.machine.engine.spawn(
+                self._put_transfer(sym, target_rank, snapshot, offset, nbytes, done),
+                name=f"shmem-put:{self.rank}->{target_rank}",
+            )
+
+    def _put_delivered(self, arg) -> None:
+        """Delivery callback for the ``transfer_async`` put fast path."""
+        sym, target_rank, snapshot, offset, nbytes, done = arg
+        self._store(sym, target_rank, snapshot, offset)
+        if self._obs.enabled:
+            self._obs.emit(
+                "put_done", self.now, self.rank, target_rank, nbytes,
+                attrs={"sym": sym.name, "lo": offset, "hi": offset + int(snapshot.size)},
+            )
+        done.fire()
 
     def _put_transfer(
         self,
@@ -465,10 +488,32 @@ class ShmemContext(BaseContext):
             return
         done = self.machine.engine.event(name=f"iput:{self.rank}->{target_rank}")
         self._outstanding.append(done)
-        self.machine.engine.spawn(
-            self._iput_transfer(sym, target_rank, snapshot, indices, nbytes, done),
-            name=f"shmem-iput:{self.rank}->{target_rank}",
-        )
+        if not self.machine.network.transfer_async(
+            self.node,
+            self.cfg.node_of_cpu(target_rank),
+            nbytes,
+            self._iput_delivered,
+            (sym, target_rank, snapshot, indices, done),
+            self._iput_transfer,
+            (sym, target_rank, snapshot, indices, nbytes, done),
+        ):
+            self.machine.engine.spawn(
+                self._iput_transfer(sym, target_rank, snapshot, indices, nbytes, done),
+                name=f"shmem-iput:{self.rank}->{target_rank}",
+            )
+
+    def _iput_delivered(self, arg) -> None:
+        """Delivery callback for the ``transfer_async`` iput fast path."""
+        sym, target_rank, snapshot, indices, done = arg
+        sym.copies[target_rank].reshape(-1)[indices] = snapshot.reshape(-1)
+        if self._obs.enabled:
+            self._obs.emit(
+                "put_done", self.now, self.rank, target_rank,
+                int(snapshot.size) * sym.itemsize,
+                attrs={"sym": sym.name, "lo": int(indices[0]) if indices.size else 0,
+                       "hi": (int(indices[-1]) + 1) if indices.size else 0},
+            )
+        done.fire()
 
     def _iput_transfer(self, sym, target_rank, snapshot, indices, nbytes, done) -> Generator:
         target_node = self.cfg.node_of_cpu(target_rank)

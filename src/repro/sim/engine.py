@@ -1,10 +1,5 @@
 """Deterministic discrete-event engine with coroutine processes.
 
-The engine keeps a binary heap of ``(time, seq, thunk)`` entries.  ``seq`` is
-a monotonically increasing tie-breaker so that events scheduled for the same
-virtual time fire in FIFO order, which makes every simulation run exactly
-reproducible.
-
 A *process* is a generator.  It communicates with the engine by yielding
 request objects:
 
@@ -21,12 +16,51 @@ request objects:
 
 Processes may also yield *sub-generators* indirectly via ``yield from``,
 which is the idiom every runtime primitive in :mod:`repro.models` uses.
+
+Queue structure
+---------------
+
+The engine orders work by ``(time, seq)`` where ``seq`` is a monotonically
+increasing tie-breaker, so events scheduled for the same virtual time fire
+in FIFO order and every simulation run is exactly reproducible.  Two
+interchangeable run loops implement that contract:
+
+* **Scalar** (``batch=False``, or ``derived["engine_batch"] = "off"`` on the
+  machine config): the pre-existing binary heap of ``(time, seq, thunk)``
+  entries, popped one event at a time.  This is the golden reference.
+* **Batched** (the default): a calendar/heap hybrid that drains
+  same-timestamp *event cohorts* in one pass.  Wakes scheduled for the
+  current instant go to a FIFO *zero lane* (no heap traffic at all); future
+  wakes go to an array-backed *delay lane* that buffers pushes and
+  bulk-sorts them through NumPy (``np.lexsort`` + sorted-run merge) when
+  cohorts are large, falling back to a small heap when they are not.  The
+  innermost merge kernel can be JIT-compiled by setting ``REPRO_JIT=1``
+  when numba is installed (see :mod:`repro.sim.jit`); without numba the
+  flag is a no-op.
+
+Both loops consume the same ``seq`` stream in the same program order, so
+the batched drain is *bit-identical* to the scalar heap: same simulated
+timestamps, same event order, same results.  The golden equivalence suite
+(``tests/test_engine_batch_equivalence.py``) locks this across all
+programming models at P up to 128.
+
+The batched engine additionally exposes :meth:`Engine.call_after`, a
+lightweight timer that invokes a plain callback instead of resuming a
+coroutine.  The machine layers use it to complete uncontended network
+transfers without paying a full ``Process`` (generator frames, end event,
+two heap round-trips) per in-flight message.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+import math
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.jit import JIT_ENABLED, merge_runs
 
 __all__ = [
     "SimError",
@@ -36,9 +70,12 @@ __all__ = [
     "WaitEvent",
     "AllOf",
     "AnyOf",
+    "Hop",
     "Process",
     "Engine",
 ]
+
+_INF = math.inf
 
 
 class SimError(Exception):
@@ -55,9 +92,12 @@ class Delay:
     __slots__ = ("ns",)
 
     def __init__(self, ns: float):
-        if ns < 0:
-            raise ValueError(f"negative delay: {ns}")
-        self.ns = float(ns)
+        ns = float(ns)
+        # ``not (ns >= 0)`` also catches NaN, which compares False both ways
+        # and would otherwise silently corrupt the queue's time ordering.
+        if not ns >= 0.0 or ns == _INF:
+            raise ValueError(f"delay must be finite and >= 0, got {ns}")
+        self.ns = ns
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Delay({self.ns})"
@@ -130,6 +170,35 @@ class AnyOf:
             raise ValueError("AnyOf requires at least one event")
 
 
+class Hop:
+    """Request (batched engine only): park, run ``fn`` later, resume on cue.
+
+    ``yield Hop(ns, fn, args)`` suspends the yielding process and arranges
+    for ``fn(proc, *args)`` to run after ``ns`` simulated ns as an engine
+    timer.  The callback — or a callback chain it starts — is responsible
+    for eventually resuming ``proc`` via ``Engine._schedule(delay, proc,
+    value)``; the yield expression evaluates to that ``value``.
+
+    This is the batched engine's fused-protocol primitive: a runtime can
+    collapse a multi-suspension sequence (resume, bookkeeping, re-suspend)
+    into one parked yield plus timers, *provided* the callbacks allocate
+    exactly the ``seq`` numbers, at exactly the instants, that the plain
+    coroutine sequence would — that is what keeps the batched timeline
+    bit-identical to the scalar one.  Callers must gate on
+    ``engine.batch_enabled`` and fall back to the coroutine path otherwise.
+    """
+
+    __slots__ = ("ns", "fn", "args")
+
+    def __init__(self, ns: float, fn: Callable, args: tuple = ()):
+        ns = float(ns)
+        if not ns >= 0.0 or ns == _INF:
+            raise ValueError(f"hop delay must be finite and >= 0, got {ns}")
+        self.ns = ns
+        self.fn = fn
+        self.args = args
+
+
 class Process:
     """A running coroutine inside the engine."""
 
@@ -164,6 +233,167 @@ class Process:
         return f"Process({self.name!r}, {state})"
 
 
+_EMPTY_T = np.empty(0, dtype=np.float64)
+_EMPTY_S = np.empty(0, dtype=np.int64)
+
+
+class _DelayLane:
+    """Hybrid future-wake queue: a heap plus parallel NumPy wake arrays.
+
+    Fine-grained pushes go straight onto ``_heap`` as ``(wake, seq, proc,
+    value)`` tuples — identical cost to the scalar engine's queue.  While
+    the run loop drains a *large* cohort it instead stages the cohort's
+    pushes in ``_buf`` (see ``Engine._stage``); the post-cohort flush sorts
+    the whole batch with ``np.lexsort`` and merges it into the sorted
+    parallel ``(wake_time, seq)`` arrays in one vectorised pass (optionally
+    numba-compiled, see :mod:`repro.sim.jit`), so N same-pass wakes cost
+    one kernel call instead of N heap round-trips.  Every staged entry
+    carries a globally increasing ``seq`` larger than any already-merged
+    entry's, so the equal-time merge order (existing entries first) is
+    exactly the heap's FIFO order; across the heap and the arrays, peeks
+    and pops interleave entries by ``(time, seq)``.
+
+    Array-side entry payloads — ``(process, value)`` resume pairs or
+    ``(None, (callback, args))`` timers — live in a dict keyed by ``seq``
+    so the arrays stay primitive and NumPy/numba-friendly.
+    """
+
+    __slots__ = (
+        "_times", "_seqs", "_head", "_payload", "_buf", "_heap", "nlive",
+        "bulk_flushes", "heap_flushes",
+    )
+
+    #: buffered pushes at or above this go through the vectorised merge
+    BULK = 16
+
+    def __init__(self) -> None:
+        self._times = _EMPTY_T
+        self._seqs = _EMPTY_S
+        self._head = 0                       # first live slot in the arrays
+        self._payload: dict = {}             # seq -> (proc, value), array side only
+        self._buf: List[tuple] = []          # staged (wake, seq, proc, value)
+        self._heap: List[tuple] = []         # (wake, seq, proc, value)
+        self.nlive = 0                       # live array entries (run-loop check)
+        self.bulk_flushes = 0
+        self.heap_flushes = 0
+
+    def __len__(self) -> int:
+        return (self._times.size - self._head) + len(self._buf) + len(self._heap)
+
+    def _flush(self) -> None:
+        buf = self._buf
+        n = len(buf)
+        if not n:
+            return
+        if n < self.BULK:
+            # small cohort: plain heap entries, no payload indirection
+            heap = self._heap
+            for entry in buf:
+                heapq.heappush(heap, entry)
+            self.heap_flushes += 1
+        else:
+            bt = np.array([e[0] for e in buf], dtype=np.float64)
+            bs = np.array([e[1] for e in buf], dtype=np.int64)
+            payload = self._payload
+            for e in buf:
+                payload[e[1]] = (e[2], e[3])
+            order = np.lexsort((bs, bt))
+            bt = bt[order]
+            bs = bs[order]
+            t1 = self._times[self._head:]
+            if t1.size == 0:
+                self._times = bt
+                self._seqs = bs
+            elif JIT_ENABLED:
+                self._times, self._seqs = merge_runs(
+                    t1, self._seqs[self._head:], bt, bs
+                )
+            else:
+                # every buffered seq is newer than every flushed one, so for
+                # equal times the existing run sorts first: searchsorted
+                # side="right" over times alone is the exact (time, seq) merge
+                pos = np.searchsorted(t1, bt, side="right")
+                self._times = np.insert(t1, pos, bt)
+                self._seqs = np.insert(self._seqs[self._head:], pos, bs)
+            self._head = 0
+            self.nlive = self._times.size
+            self.bulk_flushes += 1
+        buf.clear()
+
+    def peek(self) -> Optional[Tuple[float, int]]:
+        """``(time, seq)`` of the earliest entry, or None; flushes the buffer."""
+        self._flush()
+        times = self._times
+        head = self._head
+        if head < times.size:
+            t = times[head]
+            s = self._seqs[head]
+            if self._heap:
+                entry = self._heap[0]
+                if entry[0] < t or (entry[0] == t and entry[1] < s):
+                    return entry[0], entry[1]
+            return float(t), int(s)
+        if self._heap:
+            entry = self._heap[0]
+            return entry[0], entry[1]
+        return None
+
+    def pop_time(self, when: float) -> List[Any]:
+        """Remove and return every ``(proc, value)`` with wake time == ``when``.
+
+        Returned in seq (FIFO) order.  Callers must have called :meth:`peek`
+        (which flushes) and pass its returned time, so the buffer is empty
+        and ``when`` is the queue minimum.
+        """
+        heap = self._heap
+        times = self._times
+        i = self._head
+        n = times.size
+        if i >= n or times[i] != when:
+            # heap-only cohort: the common fine-grained case
+            out: List[Any] = []
+            while heap and heap[0][0] == when:
+                e = heapq.heappop(heap)
+                out.append((e[2], e[3]))
+            return out
+        seqs = self._seqs
+        arr: List[int] = []
+        while i < n and times[i] == when:
+            arr.append(int(seqs[i]))
+            i += 1
+        self._head = i
+        self.nlive -= len(arr)
+        if i >= n:
+            self._times = _EMPTY_T
+            self._seqs = _EMPTY_S
+            self._head = 0
+        payload = self._payload
+        if not heap or heap[0][0] != when:
+            return [payload.pop(s) for s in arr]
+        # both sides hold entries at ``when``: merge the ascending seq runs
+        out = []
+        a = 0
+        na = len(arr)
+        while True:
+            heap_live = heap and heap[0][0] == when
+            if a < na and heap_live:
+                if arr[a] < heap[0][1]:
+                    out.append(payload.pop(arr[a]))
+                    a += 1
+                else:
+                    e = heapq.heappop(heap)
+                    out.append((e[2], e[3]))
+            elif a < na:
+                out.append(payload.pop(arr[a]))
+                a += 1
+            elif heap_live:
+                e = heapq.heappop(heap)
+                out.append((e[2], e[3]))
+            else:
+                break
+        return out
+
+
 class Engine:
     """Deterministic event-driven simulator.
 
@@ -176,16 +406,34 @@ class Engine:
         proc = eng.spawn(program(), name="p0")
         eng.run()
         assert eng.now == 10 and proc.result == 42
+
+    Args:
+        batch: ``True`` (default) runs the batched cohort-draining loop;
+            ``False`` runs the scalar reference heap.  Both produce
+            bit-identical simulated timelines — the switch only trades
+            host time.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, batch: bool = True) -> None:
         self.now: float = 0.0
+        self.batch_enabled = bool(batch)
         self._heap: list = []
+        self._zero: deque = deque()
+        self._lane = _DelayLane()
+        # direct reference to the lane's heap list (never reassigned):
+        # _schedule runs once per event, the attribute chain adds up
+        self._lheap = self._lane._heap
+        self._stage = False
         self._seq: int = 0
         self._procs: List[Process] = []
         self._live: int = 0
         self._error: Optional[BaseException] = None
         self._trace_hook: Optional[Callable[[float, Process, Any], None]] = None
+        # batched-loop statistics (bench-engine reports these)
+        self.zero_lane_hits = 0
+        self.cohorts_drained = 0
+        self.max_cohort = 0
+        self.timer_calls = 0
 
     # -- process management -------------------------------------------------
 
@@ -203,11 +451,58 @@ class Engine:
         """Create a fresh event bound to this engine."""
         return Event(self, name=name, reusable=reusable)
 
+    def adopt(self, gen: Generator, name: str = "") -> Process:
+        """Register a process and run its first step *immediately*.
+
+        Used by timer callbacks that stand in a slot where the scalar
+        engine would have been running an already-started process: unlike
+        :meth:`spawn`, no zero-delay start entry is queued (and hence no
+        ``seq`` is consumed), so the adopted generator's first suspension
+        lands on exactly the seq the scalar process's would.
+        """
+        proc = Process(self, gen, pid=len(self._procs), name=name or f"proc{len(self._procs)}")
+        self._procs.append(proc)
+        self._live += 1
+        self._step(proc, None)
+        return proc
+
     # -- scheduling core ----------------------------------------------------
 
-    def _schedule(self, delay: float, proc: Process, value: Any) -> None:
+    def _schedule(self, delay: float, proc: Optional[Process], value: Any) -> None:
+        now = self.now
+        wake = now + delay
+        if not wake < _INF:  # rejects NaN and +inf wake times in one branch
+            raise ValueError(
+                f"non-finite wake time {wake} (now={now}, delay={delay})"
+            )
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, proc, value))
+        if self.batch_enabled:
+            if wake == now:
+                self._zero.append((proc, value))
+            elif self._stage:
+                # a large cohort is mid-drain: stage for one vectorised merge
+                self._lane._buf.append((wake, self._seq, proc, value))
+            else:
+                heapq.heappush(self._lheap, (wake, self._seq, proc, value))
+        else:
+            heapq.heappush(self._heap, (wake, self._seq, proc, value))
+
+    def call_after(self, delay: float, fn: Callable, args: tuple = ()) -> None:
+        """Invoke ``fn(*args)`` after ``delay`` simulated ns (batched mode).
+
+        A timer consumes one ``seq`` exactly like a scheduled process
+        resume, so callbacks interleave with coroutine wakes in FIFO
+        order at equal timestamps.  Only valid on a batched engine —
+        scalar mode keeps the pre-existing pure-coroutine event loop, so
+        callers must fall back to a spawned process when
+        ``engine.batch_enabled`` is false.
+        """
+        if not self.batch_enabled:
+            raise SimError("call_after requires the batched engine")
+        if not delay >= 0.0 or delay == _INF:
+            raise ValueError(f"delay must be finite and >= 0, got {delay}")
+        self.timer_calls += 1
+        self._schedule(delay, None, (fn, args))
 
     def _step(self, proc: Process, value: Any) -> None:
         if proc.finished:
@@ -233,9 +528,17 @@ class Engine:
     def _dispatch(self, proc: Process, request: Any) -> None:
         if self._trace_hook is not None:
             self._trace_hook(self.now, proc, request)
-        if isinstance(request, Delay):
+        if type(request) is Delay or isinstance(request, Delay):
             proc._blocked_on = "delay"
             self._schedule(request.ns, proc, None)
+        elif type(request) is Hop:
+            if not self.batch_enabled:
+                raise SimError(
+                    f"process {proc.name!r} yielded Hop on the scalar engine; "
+                    "gate fused paths on engine.batch_enabled"
+                )
+            proc._blocked_on = "hop"
+            self._schedule(request.ns, None, (request.fn, (proc,) + request.args))
         elif isinstance(request, Event):
             self._wait_event(proc, request)
         elif isinstance(request, WaitEvent):
@@ -310,24 +613,215 @@ class Engine:
     # -- run loop -------------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the queue drains (or virtual time passes ``until``).
+        """Run until the queue drains, or virtual time would pass ``until``.
 
         Returns the final virtual time.  Raises :class:`Deadlock` if
         non-finished processes remain but no event can ever wake them.
+
+        The ``until`` boundary is **inclusive-exclusive**: every event
+        with timestamp ``<= until`` fires — including events scheduled
+        for exactly ``until`` while the boundary cohort is being drained —
+        and events strictly after ``until`` stay queued for the next
+        :meth:`run` call.  On an early return ``self.now == until``
+        (virtual time advances to the boundary even if no event fired
+        there), so a subsequent ``run`` can never re-fire an event at a
+        time the caller has already observed.  Calling with
+        ``until < self.now`` is a no-op — time never moves backwards.
         """
-        while self._heap:
-            time, _seq, proc, value = self._heap[0]
-            if until is not None and time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = time
-            self._step(proc, value)
-        if self._live > 0:
+        if until is not None and until < self.now:
+            return self.now
+        if self.batch_enabled:
+            self._run_batched(until)
+        else:
+            self._run_scalar(until)
+        if self._live > 0 and not self._queued():
             blocked = [p for p in self._procs if not p.finished and not p.internal]
             names = ", ".join(f"{p.name}({p._blocked_on})" for p in blocked[:12])
             raise Deadlock(f"{len(blocked)} process(es) blocked forever: {names}")
         return self.now
+
+    def _queued(self) -> bool:
+        """True when any entry is still waiting to fire (early ``until`` return)."""
+        return bool(self._heap) or bool(self._zero) or len(self._lane) > 0
+
+    def _run_scalar(self, until: Optional[float]) -> None:
+        """The golden reference loop: one heap entry at a time."""
+        heap = self._heap
+        while heap:
+            time, _seq, proc, value = heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(heap)
+            self.now = time
+            self._step(proc, value)
+
+    def _run_batched(self, until: Optional[float]) -> None:
+        """Cohort drain: zero lane first, then whole same-timestamp cohorts."""
+        from repro.sim.profile import PROFILER
+
+        if PROFILER.enabled:
+            self._run_batched_profiled(until)
+            return
+        zero = self._zero
+        lane = self._lane
+        lheap = lane._heap
+        lbuf = lane._buf
+        heappop = heapq.heappop
+        step = self._step
+        bulk = lane.BULK
+        zero_hits = 0
+        cohorts = 0
+        max_cohort = self.max_cohort
+        try:
+            while True:
+                while zero:
+                    proc, value = zero.popleft()
+                    zero_hits += 1
+                    if proc is None:
+                        fn, args = value
+                        fn(*args)
+                    else:
+                        step(proc, value)
+                if lbuf or lane.nlive:
+                    # array path: staged pushes and/or merged wake arrays live
+                    nxt = lane.peek()
+                    if nxt is None:
+                        return
+                    t = nxt[0]
+                    if until is not None and t > until:
+                        self.now = until
+                        return
+                    self.now = t
+                    cohort = lane.pop_time(t)
+                elif lheap:
+                    entry = lheap[0]
+                    t = entry[0]
+                    if until is not None and t > until:
+                        self.now = until
+                        return
+                    self.now = t
+                    heappop(lheap)
+                    cohorts += 1
+                    if not lheap or lheap[0][0] != t:
+                        # singleton cohort: the fine-grained common case,
+                        # exactly one heap pop — scalar-loop cost
+                        if max_cohort == 0:
+                            max_cohort = 1
+                        proc = entry[2]
+                        if proc is None:
+                            fn, args = entry[3]
+                            fn(*args)
+                        else:
+                            step(proc, entry[3])
+                        continue
+                    cohort = [(entry[2], entry[3])]
+                    while lheap and lheap[0][0] == t:
+                        e = heappop(lheap)
+                        cohort.append((e[2], e[3]))
+                    cohorts -= 1  # counted again below
+                else:
+                    return
+                n = len(cohort)
+                cohorts += 1
+                if n > max_cohort:
+                    max_cohort = n
+                if n >= bulk:
+                    # big cohort: stage its wake pushes for one bulk merge
+                    self._stage = True
+                    try:
+                        for proc, value in cohort:
+                            if proc is None:
+                                fn, args = value
+                                fn(*args)
+                            else:
+                                step(proc, value)
+                    finally:
+                        self._stage = False
+                    lane._flush()
+                else:
+                    for proc, value in cohort:
+                        if proc is None:
+                            fn, args = value
+                            fn(*args)
+                        else:
+                            step(proc, value)
+        finally:
+            self.zero_lane_hits += zero_hits
+            self.cohorts_drained += cohorts
+            self.max_cohort = max_cohort
+
+    def _run_batched_profiled(self, until: Optional[float]) -> None:
+        """The batched drain with host time billed to ``engine-dispatch``.
+
+        Bills the engine's own bookkeeping — lane merges, cohort pops,
+        dispatch — to the :data:`repro.sim.profile.ENGINE_DISPATCH`
+        bucket by subtracting the time spent inside process code
+        (``gen.send`` and callbacks) from the loop total.
+        """
+        from time import perf_counter
+
+        from repro.sim.profile import ENGINE_DISPATCH, PROFILER
+
+        zero = self._zero
+        lane = self._lane
+        overhead = 0.0
+        events = 0
+        t_mark = perf_counter()
+        try:
+            while True:
+                while zero:
+                    proc, value = zero.popleft()
+                    self.zero_lane_hits += 1
+                    events += 1
+                    t0 = perf_counter()
+                    overhead += t0 - t_mark
+                    if proc is None:
+                        fn, args = value
+                        fn(*args)
+                    else:
+                        self._step(proc, value)
+                    t_mark = perf_counter()
+                nxt = lane.peek()
+                if nxt is None:
+                    return
+                t = nxt[0]
+                if until is not None and t > until:
+                    self.now = until
+                    return
+                self.now = t
+                cohort = lane.pop_time(t)
+                self.cohorts_drained += 1
+                if len(cohort) > self.max_cohort:
+                    self.max_cohort = len(cohort)
+                for proc, value in cohort:
+                    events += 1
+                    t0 = perf_counter()
+                    overhead += t0 - t_mark
+                    if proc is None:
+                        fn, args = value
+                        fn(*args)
+                    else:
+                        self._step(proc, value)
+                    t_mark = perf_counter()
+        finally:
+            overhead += perf_counter() - t_mark
+            PROFILER.add(ENGINE_DISPATCH, overhead, calls=events)
+
+    # -- introspection ---------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Batched-loop statistics for benchmarks (zeros in scalar mode)."""
+        return {
+            "batch": self.batch_enabled,
+            "events": self._seq,
+            "zero_lane_hits": self.zero_lane_hits,
+            "cohorts_drained": self.cohorts_drained,
+            "max_cohort": self.max_cohort,
+            "timer_calls": self.timer_calls,
+            "lane_bulk_flushes": self._lane.bulk_flushes,
+            "lane_heap_flushes": self._lane.heap_flushes,
+        }
 
     def set_trace_hook(self, hook: Optional[Callable[[float, Process, Any], None]]) -> None:
         """Install a callback invoked on every dispatch (for debugging)."""

@@ -1,0 +1,127 @@
+"""Optional numba acceleration for the engine's innermost kernels.
+
+The batched engine core (:mod:`repro.sim.engine`) and the vectorised MPI
+match queue (:mod:`repro.models.mpi.matchq`) push their innermost loops —
+sorted-run merging for the delay lane and first-compatible-match scanning —
+through NumPy.  When the environment sets ``REPRO_JIT=1`` *and* numba is
+importable, the same kernels are compiled with ``numba.njit`` instead; the
+kernels are written so the JIT-compiled and NumPy fallback paths produce
+bit-identical results, so flipping the flag can never change a simulated
+timeline.  Without the flag (or without numba in the environment) this
+module is a strict no-op: nothing is imported, nothing is compiled, and
+the NumPy paths run exactly as before.
+
+``JIT_ENABLED`` is the single switch every call site guards on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["JIT_ENABLED", "jit_status", "merge_runs", "first_match"]
+
+
+def _jit_requested() -> bool:
+    return os.environ.get("REPRO_JIT", "").strip().lower() in ("1", "on", "true", "yes")
+
+
+JIT_ENABLED = False
+if _jit_requested():
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba  # noqa: F401
+
+        JIT_ENABLED = True
+    except ImportError:
+        JIT_ENABLED = False
+
+
+def jit_status() -> str:
+    """Human-readable status line for benchmarks and ``describe`` output."""
+    if JIT_ENABLED:
+        return "numba (REPRO_JIT=1)"
+    if _jit_requested():
+        return "requested but numba unavailable (NumPy fallback)"
+    return "off (NumPy)"
+
+
+# -- kernels ------------------------------------------------------------------
+#
+# Each kernel has one implementation; when JIT is active it is njit-compiled,
+# otherwise the plain-Python/NumPy definition is used directly by callers
+# that explicitly opted in (call sites keep their vectorised NumPy fallback
+# for the common un-JITted case, so interpreted-loop kernels never run hot).
+
+
+def _merge_runs_py(t1, s1, t2, s2):
+    """Merge two (time, seq)-sorted runs into one; ties break on seq.
+
+    Both runs are individually sorted by ``(time, seq)``; the merged output
+    is the stable union.  This is the delay lane's timestamp-advance merge.
+    """
+    n1 = t1.size
+    n2 = t2.size
+    tm = np.empty(n1 + n2, dtype=np.float64)
+    sm = np.empty(n1 + n2, dtype=np.int64)
+    i = 0
+    j = 0
+    k = 0
+    while i < n1 and j < n2:
+        if t1[i] < t2[j] or (t1[i] == t2[j] and s1[i] < s2[j]):
+            tm[k] = t1[i]
+            sm[k] = s1[i]
+            i += 1
+        else:
+            tm[k] = t2[j]
+            sm[k] = s2[j]
+            j += 1
+        k += 1
+    while i < n1:
+        tm[k] = t1[i]
+        sm[k] = s1[i]
+        i += 1
+        k += 1
+    while j < n2:
+        tm[k] = t2[j]
+        sm[k] = s2[j]
+        j += 1
+        k += 1
+    return tm, sm
+
+
+def _first_match_py(src_arr, tag_arr, src, tag, any_key, dead_key):
+    """Index of the first entry compatible with ``(src, tag)``, else -1.
+
+    Mirrors :meth:`repro.models.mpi.matchq.MatchQueue._compatible` exactly:
+    ``any_key`` is a wildcard on either side, ``dead_key`` marks popped
+    holes (never matchable — a concrete or wildcard probe key is never
+    equal to it by construction).
+    """
+    for i in range(src_arr.size):
+        s = src_arr[i]
+        if s == dead_key:
+            continue
+        if (src == any_key or s == any_key or s == src) and (
+            tag == any_key or tag_arr[i] == any_key or tag_arr[i] == tag
+        ):
+            return i
+    return -1
+
+
+if JIT_ENABLED:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    merge_runs = numba.njit(cache=False)(_merge_runs_py)
+    first_match = numba.njit(cache=False)(_first_match_py)
+    # warm the compile at import so benchmarks never time a JIT compile
+    merge_runs(
+        np.array([0.0]), np.array([0], dtype=np.int64),
+        np.array([1.0]), np.array([1], dtype=np.int64),
+    )
+    first_match(
+        np.array([0], dtype=np.int64), np.array([0], dtype=np.int64), 0, 0, -1, -2
+    )
+else:
+    merge_runs = _merge_runs_py
+    first_match = _first_match_py

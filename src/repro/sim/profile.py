@@ -29,7 +29,20 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Tuple
 
-__all__ = ["Profiler", "PROFILER", "profile_section", "profile_generator", "profiled"]
+__all__ = [
+    "Profiler",
+    "PROFILER",
+    "ENGINE_DISPATCH",
+    "profile_section",
+    "profile_generator",
+    "profiled",
+]
+
+#: Bucket the batched engine bills its own run-loop overhead into: delay-lane
+#: merges, cohort pops, and request dispatch, *excluding* the host time spent
+#: inside process code (``gen.send``) — that belongs to whichever subsystem
+#: the process is executing.  See ``Engine._run_batched_profiled``.
+ENGINE_DISPATCH = "engine-dispatch"
 
 
 class Profiler:

@@ -1,0 +1,233 @@
+"""Golden equivalence: the batched event engine vs the scalar loop.
+
+The PR-6 engine core (same-timestamp cohort drain, array-backed delay
+lane, zero lane, ``call_after`` timers, fused ``Hop`` protocol legs and
+``Network.transfer_async`` timer transfers) must be invisible in every
+simulated quantity.  ``config.derived["engine_batch"] = "off"`` restores
+the pre-batching pipeline — the scalar one-event-at-a-time heap loop plus
+(together with ``net_batch``/``mpi_match_batch`` off) the spawned-coroutine
+network and list-scan match paths — which is the reference here.
+
+Locked quantities, all bit-identical (no tolerance):
+
+* simulated elapsed nanoseconds,
+* the complete ``repro.obs`` event stream (kind, t, src, dst, nbytes,
+  dur and every attribute, in emission order),
+* per-rank statistics (the float-sum order inside each rank matters),
+* per-rank program results.
+
+P=128 rows carry the ``nightly`` marker so tier-1 stays fast.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.enginebench import (
+    BATCHED_DERIVED,
+    SCALAR_DERIVED,
+    _EQUIV_PROGRAMS,
+    _trace_fingerprint,
+)
+from repro.machine import Machine, MachineConfig
+from repro.models.registry import run_program
+
+MODELS = ("mpi", "shmem", "sas", "hybrid")
+PROCS = [1, 8, pytest.param(64, marks=pytest.mark.nightly),
+         pytest.param(128, marks=pytest.mark.nightly)]
+
+
+def _run_pair(model: str, nprocs: int):
+    program, args = _EQUIV_PROGRAMS[model]
+    out = {}
+    for name, derived in (("batched", BATCHED_DERIVED), ("scalar", SCALAR_DERIVED)):
+        cfg = MachineConfig(nprocs=nprocs, derived=dict(derived))
+        out[name] = run_program(model, program, nprocs, *args, config=cfg, trace=True)
+    return out["batched"], out["scalar"]
+
+
+class TestGoldenTimelines:
+    @pytest.mark.parametrize("nprocs", PROCS)
+    @pytest.mark.parametrize("model", MODELS)
+    def test_trace_and_stats_identical(self, model, nprocs):
+        batched, scalar = _run_pair(model, nprocs)
+        assert batched.elapsed_ns == scalar.elapsed_ns
+        assert _trace_fingerprint(batched) == _trace_fingerprint(scalar)
+        assert batched.rank_results == scalar.rank_results
+
+    def test_opt_out_restores_scalar_engine(self):
+        on = Machine(MachineConfig(nprocs=8))
+        off = Machine(MachineConfig(nprocs=8, derived=dict(SCALAR_DERIVED)))
+        assert on.engine.batch_enabled
+        assert not off.engine.batch_enabled
+        assert not off.network.batch_enabled
+
+    def test_scalar_arm_takes_no_fast_paths(self):
+        """The reference arm must really be the pre-PR pipeline."""
+        program, args = _EQUIV_PROGRAMS["mpi"]
+        cfg = MachineConfig(nprocs=8, derived=dict(SCALAR_DERIVED))
+        machine = Machine(cfg)
+        run_program("mpi", program, 8, *args, machine=machine)
+        assert machine.network.batch_fast_transfers == 0
+        assert machine.network.timer_fast_transfers == 0
+        c = machine.engine.counters()
+        assert c["zero_lane_hits"] == 0
+        assert c["timer_calls"] == 0
+        mc = machine.mpi_world.match_counters()
+        assert mc["index_hits"] == 0
+        assert mc["vector_scans"] == 0
+
+    def test_batched_arm_exercises_fast_paths(self):
+        program, args = _EQUIV_PROGRAMS["mpi"]
+        machine = Machine(MachineConfig(nprocs=8))
+        run_program("mpi", program, 8, *args, machine=machine)
+        assert machine.network.timer_fast_transfers > 0
+        assert machine.engine.counters()["zero_lane_hits"] > 0
+
+    def test_engine_flag_alone_keeps_timeline(self):
+        """--engine-batch off with net/match batching still on: same times."""
+        program, args = _EQUIV_PROGRAMS["mpi"]
+        cfg = MachineConfig(nprocs=8, derived={"engine_batch": "off"})
+        a = run_program("mpi", program, 8, *args, config=cfg, trace=True)
+        b = run_program("mpi", program, 8, *args,
+                        config=MachineConfig(nprocs=8), trace=True)
+        assert a.elapsed_ns == b.elapsed_ns
+        assert _trace_fingerprint(a) == _trace_fingerprint(b)
+
+
+class TestJitGuard:
+    def test_jit_env_flag_is_safe_without_numba(self, monkeypatch):
+        """REPRO_JIT=1 must be a clean no-op when numba is missing, and the
+        merge helper must produce identical results either way."""
+        import importlib
+
+        import numpy as np
+
+        monkeypatch.setenv("REPRO_JIT", "1")
+        import repro.sim.jit as jitmod
+
+        jitmod = importlib.reload(jitmod)
+        try:
+            times = np.array([1.0, 3.0, 5.0])
+            seqs = np.array([1, 3, 5], dtype=np.int64)
+            bt = np.array([2.0, 4.0])
+            bs = np.array([2, 4], dtype=np.int64)
+            mt, ms = jitmod.merge_runs(times, seqs, bt, bs)
+            assert list(mt) == [1.0, 2.0, 3.0, 4.0, 5.0]
+            assert list(ms) == [1, 2, 3, 4, 5]
+            have_numba = True
+            try:
+                import numba  # noqa: F401
+            except ImportError:
+                have_numba = False
+            assert jitmod.JIT_ENABLED == have_numba
+            assert "NumPy" in jitmod.jit_status() or have_numba
+        finally:
+            monkeypatch.delenv("REPRO_JIT", raising=False)
+            importlib.reload(jitmod)
+
+    @pytest.mark.skipif(
+        not bool(os.environ.get("REPRO_JIT")), reason="REPRO_JIT not requested"
+    )
+    def test_jit_requested_and_numba_present(self):
+        pytest.importorskip("numba")
+        import repro.sim.jit as jitmod
+
+        assert jitmod.JIT_ENABLED
+
+
+class TestMatchIndex:
+    def _q(self, batch=True):
+        from repro.models.mpi.matchq import MatchQueue
+
+        return MatchQueue(batch=batch)
+
+    def test_concrete_probe_uses_index(self):
+        q = self._q()
+        for i in range(8):
+            q.append(("m", i), src=i % 2, tag=100 + i)
+        # out-of-order concrete probe: not the head, no wildcards live
+        assert q.pop_first(1, 105) == ("m", 5)
+        assert q.index_hits == 1
+        assert len(q) == 7
+
+    def test_index_skips_stale_positions(self):
+        q = self._q()
+        q.append("a", src=0, tag=7)
+        q.append("b", src=0, tag=7)
+        # first pop via the head route leaves the index bucket stale
+        assert q.pop_first(0, 7) == "a"
+        assert q.head_hits == 1
+        # dead-prefix trim makes "b" the head; bucket still holds position 0
+        assert q.pop_first(0, 7) == "b"
+        assert len(q) == 0
+
+    def test_empty_bucket_proves_no_match(self):
+        q = self._q()
+        q.append("a", src=0, tag=1)
+        q.append("b", src=0, tag=2)
+        assert q.pop_first(3, 9) is None
+        assert len(q) == 2
+
+    def test_wildcard_entries_disable_index_route(self):
+        from repro.models.mpi.matchq import ANY
+
+        q = self._q()
+        q.append("w", src=ANY, tag=5)
+        q.append("c", src=2, tag=5)
+        # a live wildcard entry could out-rank the bucket's first position,
+        # so the index must not answer: FIFO first-match is the wildcard
+        assert q.pop_first(2, 5) == "w"
+        assert q.index_hits == 0
+
+    def test_storage_recycles_and_index_clears(self):
+        q = self._q()
+        for i in range(4):
+            q.append(i, src=i, tag=i)
+        for i in range(4):
+            assert q.pop_first(i, i) == i
+        assert q.pop_first(0, 0) is None  # triggers the recycle
+        assert len(q._items) == 0
+        assert q._index == {}
+        q.append("new", src=0, tag=0)
+        assert q.pop_first(0, 0) == "new"
+
+    def test_scalar_mode_never_indexes(self):
+        q = self._q(batch=False)
+        for i in range(64):
+            q.append(i, src=0, tag=i)
+        assert q.pop_first(0, 63) == 63
+        assert q.index_hits == 0
+        assert q.vector_scans == 0
+        assert q.scalar_scans == 1
+
+    def test_match_order_equivalence_random(self):
+        """Index/vector routes return exactly what the scalar scan would."""
+        import random
+
+        from repro.models.mpi.matchq import ANY
+
+        rng = random.Random(1234)
+        fast, slow = self._q(batch=True), self._q(batch=False)
+        live = 0
+        for step in range(4000):
+            if live and rng.random() < 0.45:
+                if rng.random() < 0.8:
+                    probe = (rng.randrange(4), rng.randrange(6))
+                else:
+                    probe = (rng.choice([ANY, rng.randrange(4)]),
+                             rng.choice([ANY, rng.randrange(6)]))
+                a = fast.pop_first(*probe)
+                b = slow.pop_first(*probe)
+                assert a == b
+                if a is not None:
+                    live -= 1
+            else:
+                src, tag = rng.randrange(4), rng.randrange(6)
+                if rng.random() < 0.1:
+                    src = ANY
+                item = (step, src, tag)
+                fast.append(item, src=src, tag=tag)
+                slow.append(item, src=src, tag=tag)
+                live += 1
+        assert len(fast) == len(slow) == live

@@ -328,3 +328,299 @@ def test_sequential_any_of_races_accumulate_stale_watchers():
     proc = eng.spawn(driver())
     eng.run()
     assert proc.result == "done"
+
+
+# -- PR 6: batched engine core ------------------------------------------------
+
+
+def test_delay_rejects_non_finite():
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            Delay(bad)
+
+
+def test_schedule_rejects_non_finite_wake():
+    eng = Engine()
+    with pytest.raises(ValueError, match="non-finite wake"):
+        eng._schedule(float("inf"), None, None)
+    with pytest.raises(ValueError, match="non-finite wake"):
+        eng._schedule(float("nan"), None, None)
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_run_until_boundary_is_inclusive(batch):
+    """An event scheduled exactly at ``until`` fires; later ones stay queued."""
+    eng = Engine(batch=batch)
+    fired = []
+
+    def prog():
+        yield Delay(10)
+        fired.append("at-10")
+        yield Delay(5)
+        fired.append("at-15")
+
+    eng.spawn(prog())
+    eng.run(until=10)
+    assert fired == ["at-10"]
+    assert eng.now == 10
+    eng.run()
+    assert fired == ["at-10", "at-15"]
+    assert eng.now == 15
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_run_until_advances_time_without_events(batch):
+    eng = Engine(batch=batch)
+
+    def prog():
+        yield Delay(100)
+
+    eng.spawn(prog())
+    eng.run(until=40)  # nothing fires at 40, but time reaches the boundary
+    assert eng.now == 40
+    eng.run(until=100)
+    assert eng.now == 100
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_run_until_in_the_past_is_a_noop(batch):
+    eng = Engine(batch=batch)
+
+    def prog():
+        yield Delay(20)
+        return "ok"
+
+    proc = eng.spawn(prog())
+    eng.run(until=30)
+    assert eng.now == 20 or eng.now == 30  # queue drained at 20, clamp <= 30
+    t = eng.run(until=5)  # must not move time backwards or re-fire anything
+    assert t == eng.now
+    assert proc.result == "ok"
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_run_until_never_refires_boundary_events(batch):
+    """Events at the boundary fire exactly once across successive runs."""
+    eng = Engine(batch=batch)
+    hits = []
+
+    def prog():
+        yield Delay(10)
+        hits.append(1)
+
+    eng.spawn(prog())
+    eng.run(until=10)
+    eng.run(until=10)
+    eng.run()
+    assert hits == [1]
+
+
+def test_hop_requires_batched_engine():
+    from repro.sim.engine import Hop
+
+    eng = Engine(batch=False)
+
+    def prog():
+        yield Hop(5.0, lambda proc: None, ())
+
+    eng.spawn(prog())
+    with pytest.raises(SimError, match="batch_enabled"):
+        eng.run()
+
+
+def test_hop_rejects_bad_delay():
+    from repro.sim.engine import Hop
+
+    with pytest.raises(ValueError):
+        Hop(-1.0, lambda proc: None, ())
+    with pytest.raises(ValueError):
+        Hop(float("nan"), lambda proc: None, ())
+
+
+def test_hop_runs_callback_and_callback_resumes_process():
+    from repro.sim.engine import Hop
+
+    eng = Engine(batch=True)
+    log = []
+
+    def leg(proc, tag):
+        log.append((tag, eng.now))
+        eng._schedule(3.0, proc, "resumed")
+
+    def prog():
+        value = yield Hop(5.0, leg, ("hop",))
+        log.append((value, eng.now))
+
+    eng.spawn(prog())
+    eng.run()
+    assert log == [("hop", 5.0), ("resumed", 8.0)]
+
+
+def test_call_after_requires_batched_engine():
+    eng = Engine(batch=False)
+    with pytest.raises(SimError, match="batched engine"):
+        eng.call_after(1.0, lambda: None)
+
+
+def test_call_after_interleaves_fifo_with_process_wakes():
+    eng = Engine(batch=True)
+    order = []
+
+    def prog(tag):
+        yield Delay(10)
+        order.append(tag)
+
+    eng.spawn(prog("a"))
+    eng.call_after(10.0, order.append, ("timer",))
+    eng.spawn(prog("b"))
+    eng.run()
+    # seq order: the timer was scheduled at t=0 before either process had
+    # reached its Delay (spawn only queues the start entry), so it fires
+    # first in the t=10 cohort
+    assert order == ["timer", "a", "b"]
+
+
+def test_adopt_runs_first_step_immediately():
+    eng = Engine(batch=True)
+    steps = []
+
+    def adoptee():
+        steps.append(("start", eng.now))
+        yield Delay(2)
+        steps.append(("end", eng.now))
+        return "adopted"
+
+    def driver():
+        yield Delay(5)
+        proc = eng.adopt(adoptee())
+        # adopt ran the first step synchronously: already inside the generator
+        assert steps == [("start", 5.0)]
+        value = yield WaitEvent(proc.end_event)
+        return value
+
+    d = eng.spawn(driver())
+    eng.run()
+    assert d.result == "adopted"
+    assert steps == [("start", 5.0), ("end", 7.0)]
+
+
+def test_batched_and_scalar_timelines_identical():
+    """The same process soup produces the same (now, order) under both loops."""
+
+    def workload(eng, order, tag, delays):
+        def prog():
+            for d in delays:
+                yield Delay(d)
+                order.append((tag, eng.now))
+
+        return prog()
+
+    results = {}
+    for batch in (True, False):
+        eng = Engine(batch=batch)
+        order = []
+        for tag, delays in (("a", [3, 0, 4]), ("b", [3, 4]), ("c", [7, 0, 0])):
+            eng.spawn(workload(eng, order, tag, delays))
+        eng.run()
+        results[batch] = (eng.now, order)
+    assert results[True] == results[False]
+
+
+def test_engine_counters_report_batched_activity():
+    eng = Engine(batch=True)
+
+    def prog():
+        yield Delay(1)
+        yield Delay(0)
+
+    eng.spawn(prog())
+    eng.run()
+    c = eng.counters()
+    assert c["batch"] is True
+    assert c["events"] > 0
+    assert c["zero_lane_hits"] >= 1
+
+
+# -- PR 6: AnyOf losing watchers under the cohort drain -----------------------
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_any_of_late_loser_does_not_resurrect_process(batch):
+    """A losing event firing *after* the race must not resume the racer."""
+    eng = Engine(batch=batch)
+    winner = eng.event("winner")
+    loser = eng.event("loser")
+    resumes = []
+
+    def racer():
+        idx, value = yield AnyOf([winner, loser])
+        resumes.append((idx, value, eng.now))
+        yield Delay(10)
+        resumes.append(("after", eng.now))
+        return "done"
+
+    def firer():
+        yield Delay(1)
+        winner.fire("w")
+        yield Delay(2)
+        loser.fire("l")  # decided race: must be swallowed by the dead watcher
+
+    proc = eng.spawn(racer())
+    eng.spawn(firer())
+    eng.run()
+    assert proc.result == "done"
+    assert resumes == [(0, "w", 1.0), ("after", 11.0)]
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_any_of_same_instant_cohort_picks_lowest_index(batch):
+    """Two events firing in one same-timestamp cohort: first fire wins,
+    and the loser's watcher dies without a second resume."""
+    eng = Engine(batch=batch)
+    evs = [eng.event(f"e{i}") for i in range(2)]
+
+    def firer(i):
+        yield Delay(5)
+        evs[i].fire(f"v{i}")
+
+    def racer():
+        idx, value = yield AnyOf(evs)
+        return idx, value, eng.now
+
+    # both fire at t=5 in one cohort; spawn order fixes the winner
+    eng.spawn(firer(0))
+    eng.spawn(firer(1))
+    proc = eng.spawn(racer())
+    eng.run()
+    assert proc.result == (0, "v0", 5.0)
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_nested_any_of_inside_all_of_under_cohort_drain(batch):
+    """AllOf over end-events of AnyOf racers, all deciding in one cohort."""
+    eng = Engine(batch=batch)
+    n = 4
+    winners = [eng.event(f"w{i}") for i in range(n)]
+    losers = [eng.event(f"l{i}") for i in range(n)]
+
+    def racer(i):
+        idx, value = yield AnyOf([losers[i], winners[i]])
+        return (i, idx, value)
+
+    def firer():
+        yield Delay(3)
+        for i in range(n):  # every race decides in the same cohort
+            winners[i].fire(f"win{i}")
+        yield Delay(1)
+        losers[0].fire("late")  # and one loser fires after the fact
+
+    racers = [eng.spawn(racer(i)) for i in range(n)]
+
+    def collector():
+        values = yield AllOf([r.end_event for r in racers])
+        return values
+
+    c = eng.spawn(collector())
+    eng.spawn(firer())
+    eng.run()
+    assert c.result == [(i, 1, f"win{i}") for i in range(n)]
