@@ -11,6 +11,8 @@ Commands
 ``bench-net`` host-time benchmark of the batched network/MPI fast paths
 ``bench-engine`` host-time benchmark of the batched event-engine core
 ``bench-faults`` per-model fault-recovery overhead (retries, goodput)
+``bench-scenarios`` model × P × scenario-class ranking-flip sweep
+``scenarios`` generate / describe / list synthetic scenario specs
 ``effort``  the programming-effort (LoC) table
 ``describe`` the simulated machine for a given processor count
 ``paper``   regenerate every experiment table/figure (R-F*/R-T*)
@@ -20,6 +22,8 @@ breakdown by simulator subsystem after the run.  ``run --trace [PATH]``
 records structured communication events (simulated time is bit-identical
 with tracing on or off) and optionally exports them; ``--check-sync``
 runs the trace-based synchronization checker on the event stream.
+``run --scenario SPEC`` runs a generated scenario (a ``*.scenario.json``
+path or a scenario class name) under any model, including ``hybrid``.
 """
 
 from __future__ import annotations
@@ -33,7 +37,9 @@ from repro.harness.tables import format_dict_table
 from repro.machine import Machine, MachineConfig
 
 _MODELS = ("mpi", "shmem", "sas")
+_ALL_MODELS = ("mpi", "shmem", "sas", "hybrid")
 _APPS = ("adapt", "adapt3d", "nbody", "jacobi")
+_DEFAULT_CLASSES = "multi_front,refinement_storm,imbalance_wave,hotspot_drift"
 
 #: hypercube depth ceiling: 128 CPUs = 32 routers = a dimension-5 cube
 _MAX_NPROCS = 128
@@ -132,12 +138,64 @@ def _print_sync_check(events, nprocs: int) -> int:
     return 1 if violations else 0
 
 
+def _resolve_scenario(spec_arg: str):
+    """A ``--scenario`` argument -> ScenarioSpec (path, else class name)."""
+    import os
+
+    from repro.workloads.synth import SCENARIO_CLASSES, generate_scenario, load_spec
+
+    if os.path.exists(spec_arg):
+        try:
+            return load_spec(spec_arg)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(
+                f"error: cannot load scenario spec {spec_arg!r}: {exc}"
+            ) from None
+    if spec_arg in SCENARIO_CLASSES:
+        return generate_scenario(spec_arg)
+    raise SystemExit(
+        f"error: unknown scenario {spec_arg!r}: not a spec file on disk and "
+        f"not a scenario class (classes: {', '.join(sorted(SCENARIO_CLASSES))}; "
+        "generate specs with `repro scenarios generate`)"
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    app, model = _resolve_app_model(args)
+    app = args.app or getattr(args, "app_pos", None)
+    model = args.model or getattr(args, "model_pos", None)
+    if args.scenario is not None:
+        # `run mpi --scenario X` puts the model in the app slot
+        if model is None and app in _ALL_MODELS:
+            app, model = "scenario", app
+        app = app or "scenario"
+        if app != "scenario":
+            raise SystemExit(
+                f"error: --scenario runs the 'scenario' app, not {app!r}; "
+                "drop the app argument or pass 'scenario'"
+            )
+    if app is None:
+        raise SystemExit("error: app is required (positionally or via --app)")
+    if app != "scenario" and app not in _APPS:
+        raise SystemExit(
+            f"error: unknown app {app!r}; choose from {', '.join(_APPS)}, or "
+            "run a generated scenario with --scenario SPEC"
+        )
     if model is None:
         raise SystemExit("error: model is required (positionally or via --model)")
+    if model not in _ALL_MODELS:
+        raise SystemExit(
+            f"error: unknown model {model!r}; choose from {', '.join(_ALL_MODELS)}"
+        )
     _check_nprocs(args.nprocs)
-    wl = _workload(app, args.size)
+    if app == "scenario":
+        if args.scenario is None:
+            raise SystemExit(
+                "error: app 'scenario' needs --scenario SPEC (a *.scenario.json "
+                "path or a scenario class name; see `repro scenarios list`)"
+            )
+        wl = _resolve_scenario(args.scenario)
+    else:
+        wl = _workload(app, args.size)
     if args.profile:
         from repro.harness.profile import PROFILER
 
@@ -154,7 +212,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         faults=faults, derived=derived,
     )
     agg = aggregate_breakdown(result)
-    print(f"{app} under {model} on {args.nprocs} CPUs ({args.size} workload)")
+    what = f"scenario {wl.name}" if app == "scenario" else f"{args.size} workload"
+    print(f"{app} under {model} on {args.nprocs} CPUs ({what})")
     print(f"  simulated time : {result.elapsed_ms:.3f} ms")
     print(f"  checksum       : {result.rank_results[0]}")
     print(
@@ -428,6 +487,138 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_knobs(pairs) -> dict:
+    """``["intensity=0.8", ...]`` -> ``{"intensity": 0.8, ...}``."""
+    knobs = {}
+    for pair in pairs:
+        name, eq, value = pair.partition("=")
+        if not eq:
+            raise SystemExit(f"error: knob {pair!r} is not NAME=VALUE")
+        try:
+            knobs[name.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"error: knob {pair!r} has a non-numeric value") from None
+    return knobs
+
+
+def cmd_scenarios_generate(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.workloads.synth import generate_scenario, insights_path, write_insights
+
+    spec = generate_scenario(
+        args.scenario_class,
+        seed=args.seed,
+        name=args.name,
+        mesh_n=args.mesh_n,
+        phases=args.phases,
+        solver_iters=args.solver_iters,
+        **_parse_knobs(args.knob),
+    )
+    spec_path = spec.save(Path(args.out_dir) / spec.default_filename())
+    print(f"wrote {spec_path} (class {spec.scenario_class}, seed {spec.seed}, "
+          f"hash {spec.content_hash()[:12]})")
+    if not args.no_insights:
+        ipath = write_insights(spec, insights_path(spec_path), nprocs=args.nprocs)
+        print(f"wrote {ipath} (characterised at P={args.nprocs})")
+    print(f"run it: python -m repro run mpi --scenario {spec_path}")
+    return 0
+
+
+def cmd_scenarios_describe(args: argparse.Namespace) -> int:
+    from repro.workloads.synth import characterise
+
+    _check_nprocs(args.nprocs)
+    spec = _resolve_scenario(args.spec)
+    ins = characterise(spec, args.nprocs)
+    print(f"scenario {spec.name} (class {spec.scenario_class}, seed {spec.seed}, "
+          f"v{spec.version}, hash {ins['spec']['content_hash'][:12]})")
+    print(f"  mesh_n {spec.mesh_n}, {len(spec.schedule)} phases, "
+          f"{spec.solver_iters} solver iters; knobs: "
+          + ", ".join(f"{k}={v:g}" for k, v in spec.knob_dict.items()))
+    print(f"  characterised at P={args.nprocs}:")
+    print(f"    final elements   : {ins['final_elements']}")
+    print(f"    comm volume      : {ins['comm_volume_bytes']:,} B "
+          f"(halo {ins['halo_bytes']:,} B, migration {ins['migration_bytes']:,} B)")
+    print(f"    adaptation rate  : {ins['adaptation_rate']:.3f} "
+          f"(migration fraction {ins['migration_fraction']:.3f})")
+    print(f"    peak imbalance   : {ins['peak_imbalance']:.3f}")
+    rows = [
+        [p["phase"], p["nels"], p["refined_families"], p["coarsened_families"],
+         p["migrated_elements"], f"{p['imbalance_before']:.2f}",
+         f"{p['imbalance_after']:.2f}"]
+        for p in ins["per_phase"]
+    ]
+    print(format_table(
+        ["phase", "elements", "refined", "coarsened", "migrated", "imb_pre", "imb_post"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.workloads.synth import SCENARIO_CLASSES, SPEC_SUFFIX, load_spec
+
+    print("scenario classes (use with `repro scenarios generate`):")
+    for cls, (_, defaults) in sorted(SCENARIO_CLASSES.items()):
+        knobs = ", ".join(f"{k}={v:g}" for k, v in sorted(defaults.items()))
+        print(f"  {cls:<18} knobs: {knobs}")
+    found = sorted(Path(args.dir).rglob(f"*{SPEC_SUFFIX}"))
+    if found:
+        print(f"specs under {args.dir}:")
+        for path in found:
+            try:
+                spec = load_spec(path)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                print(f"  {path}  [unreadable: {exc}]")
+                continue
+            print(f"  {path}  class {spec.scenario_class}, seed {spec.seed}, "
+                  f"hash {spec.content_hash()[:12]}")
+    else:
+        print(f"no *{SPEC_SUFFIX} specs under {args.dir}")
+    return 0
+
+
+def cmd_bench_scenarios(args: argparse.Namespace) -> int:
+    from repro.harness.scenariobench import (
+        format_scenario_bench,
+        run_scenario_bench,
+        write_scenario_bench_json,
+    )
+
+    try:
+        intensities = [float(x) for x in args.intensities.split(",") if x.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"error: invalid intensity list {args.intensities!r}"
+        ) from None
+    record = run_scenario_bench(
+        classes=tuple(args.classes.split(",")),
+        models=tuple(args.models.split(",")),
+        nprocs_list=_check_procs_list(args.procs),
+        intensities=intensities,
+        seed=args.seed,
+        mesh_n=args.mesh_n,
+        phases=args.phases,
+        solver_iters=args.solver_iters,
+        placement=args.placement,
+        include_insights=not args.no_insights,
+    )
+    print(format_scenario_bench(record))
+    path = write_scenario_bench_json(record, args.output)
+    print(f"  wrote {path}")
+    if args.require_report and not record["flips"]:
+        print(
+            "ERROR: the sweep found no ranking flips — the flip report is "
+            "empty (widen the P or intensity range)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     wl = _workload(args.app, args.size)
     plist = _check_procs_list(args.procs)
@@ -531,12 +722,23 @@ def main(argv=None) -> int:
             p.add_argument("model_pos", nargs="?", choices=_MODELS, metavar="model",
                            help="programming model (or use --model)")
         p.add_argument("--app", choices=_APPS, help=argparse.SUPPRESS)
-        p.add_argument("--model", choices=_MODELS,
+        p.add_argument("--model", choices=_ALL_MODELS,
                        help=argparse.SUPPRESS if need_model else "restrict to one model")
         p.add_argument("-n", "-p", "--nprocs", type=int, default=8)
 
     p = sub.add_parser("run", help="run one configuration")
-    _add_app_model(p)
+    # free-form app/model: cmd_run validates with a helpful list (the app
+    # slot must also accept 'scenario' and, with --scenario, a model name)
+    p.add_argument("app_pos", nargs="?", metavar="app",
+                   help=f"application: {', '.join(_APPS)}, scenario (or use --app)")
+    p.add_argument("model_pos", nargs="?", metavar="model",
+                   help=f"programming model: {', '.join(_ALL_MODELS)} (or use --model)")
+    p.add_argument("--app", help=argparse.SUPPRESS)
+    p.add_argument("--model", help=argparse.SUPPRESS)
+    p.add_argument("-n", "-p", "--nprocs", type=int, default=8)
+    p.add_argument("--scenario", default=None, metavar="SPEC",
+                   help="run a generated scenario: a *.scenario.json path or a "
+                        "scenario class name (implies app 'scenario')")
     p.add_argument("-s", "--size", choices=("small", "medium", "large"), default="medium")
     p.add_argument("--placement", default="first-touch")
     p.add_argument("--profile", action="store_true",
@@ -657,6 +859,62 @@ def main(argv=None) -> int:
                    help="fail unless every model at P>1 exercised recovery (CI)")
     p.set_defaults(fn=cmd_bench_faults)
 
+    p = sub.add_parser("bench-scenarios",
+                       help="model x P x scenario-class ranking-flip sweep")
+    p.add_argument("-p", "--procs", default="2,8,32")
+    p.add_argument("-m", "--models", default="mpi,shmem,sas")
+    p.add_argument("--classes", default=_DEFAULT_CLASSES,
+                   help="comma-separated scenario classes")
+    p.add_argument("--intensities", default="0.2,1.0",
+                   help="comma-separated intensity knob settings (a sweep axis)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="generator seed shared by every spec of the sweep")
+    p.add_argument("--mesh-n", type=int, default=8)
+    p.add_argument("--phases", type=int, default=4)
+    p.add_argument("--solver-iters", type=int, default=6)
+    p.add_argument("--placement", default="first-touch")
+    p.add_argument("--no-insights", action="store_true",
+                   help="skip the per-spec trajectory characterisation")
+    p.add_argument("-o", "--output", default=None, help="BENCH_SCENARIOS.json path")
+    p.add_argument("--require-report", action="store_true",
+                   help="fail unless the sweep finds ranking flips (CI)")
+    p.set_defaults(fn=cmd_bench_scenarios)
+
+    p = sub.add_parser("scenarios",
+                       help="generate / describe / list synthetic scenario specs")
+    ssub = p.add_subparsers(dest="scenarios_command", required=True)
+
+    g = ssub.add_parser("generate", help="generate a scenario spec on disk")
+    g.add_argument("scenario_class", metavar="class",
+                   help="scenario class (see `repro scenarios list`)")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--name", default=None,
+                   help="spec name (default: class-seed-knobs slug)")
+    g.add_argument("--mesh-n", type=int, default=8)
+    g.add_argument("--phases", type=int, default=5)
+    g.add_argument("--solver-iters", type=int, default=6)
+    g.add_argument("-k", "--knob", action="append", default=[], metavar="NAME=VALUE",
+                   help="set a class knob, e.g. -k intensity=0.8 (repeatable)")
+    g.add_argument("-o", "--out-dir", default="scenarios",
+                   help="directory for the spec (and insights) files")
+    g.add_argument("-n", "--nprocs", type=int, default=8,
+                   help="processor count for the insights characterisation")
+    g.add_argument("--no-insights", action="store_true",
+                   help="skip writing the sibling *.insights.json")
+    g.set_defaults(fn=cmd_scenarios_generate)
+
+    d = ssub.add_parser("describe",
+                        help="characterise a spec: knobs, schedule, trajectory")
+    d.add_argument("spec", metavar="SPEC",
+                   help="path to a *.scenario.json or a scenario class name")
+    d.add_argument("-n", "--nprocs", type=int, default=8)
+    d.set_defaults(fn=cmd_scenarios_describe)
+
+    l = ssub.add_parser("list", help="list scenario classes and on-disk specs")
+    l.add_argument("--dir", default=".",
+                   help="directory searched (recursively) for *.scenario.json")
+    l.set_defaults(fn=cmd_scenarios_list)
+
     p = sub.add_parser("effort", help="programming-effort (LoC) table")
     p.set_defaults(fn=cmd_effort)
 
@@ -668,7 +926,12 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_paper)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ValueError as exc:
+        # harness/generator errors (unknown app, model, class, knob) carry
+        # their own choose-from lists; surface them without a traceback
+        raise SystemExit(f"error: {exc}") from None
 
 
 if __name__ == "__main__":

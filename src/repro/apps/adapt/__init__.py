@@ -16,8 +16,14 @@ from repro.apps.adapt.script import AdaptScript, build_script
 from repro.apps.adapt.mpi_app import adapt_mpi
 from repro.apps.adapt.shmem_app import adapt_shmem
 from repro.apps.adapt.sas_app import adapt_sas
+from repro.apps.adapt.hybrid_app import adapt_hybrid
 
-ADAPT_PROGRAMS = {"mpi": adapt_mpi, "shmem": adapt_shmem, "sas": adapt_sas}
+ADAPT_PROGRAMS = {
+    "mpi": adapt_mpi,
+    "shmem": adapt_shmem,
+    "sas": adapt_sas,
+    "hybrid": adapt_hybrid,
+}
 
 __all__ = [
     "AdaptConfig",
@@ -26,5 +32,6 @@ __all__ = [
     "adapt_mpi",
     "adapt_shmem",
     "adapt_sas",
+    "adapt_hybrid",
     "ADAPT_PROGRAMS",
 ]

@@ -3,6 +3,11 @@
 from repro.harness.experiment import APPS, run_app, sweep
 from repro.harness.breakdown import breakdown_rows, comm_stats_rows
 from repro.harness.faultbench import format_fault_bench, run_fault_bench, write_fault_bench_json
+from repro.harness.scenariobench import (
+    format_scenario_bench,
+    run_scenario_bench,
+    write_scenario_bench_json,
+)
 from repro.harness.tables import format_table
 from repro.harness.figures import ascii_chart
 from repro.harness.loc import count_loc, effort_table
@@ -14,6 +19,9 @@ __all__ = [
     "run_fault_bench",
     "format_fault_bench",
     "write_fault_bench_json",
+    "run_scenario_bench",
+    "format_scenario_bench",
+    "write_scenario_bench_json",
     "breakdown_rows",
     "comm_stats_rows",
     "format_table",

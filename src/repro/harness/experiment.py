@@ -6,7 +6,10 @@ trajectories (the adapt script) are deterministic, so they are cached —
 keyed on the *full* run signature (app, config, nprocs, placement, fault
 profile), not just (config, nprocs): two runs that differ only in
 placement or injected faults must never alias one cached script object,
-or state carried on the script could leak between configurations.
+or state carried on the script could leak between configurations.  For
+the ``"scenario"`` app the config component of that signature is the
+scenario spec's sha256 content hash, so sweep cells from two generated
+scenarios — however similar their knobs — can never collide.
 """
 
 from __future__ import annotations
@@ -32,6 +35,17 @@ def _run_key(kind: str, cfg: Any, nprocs: int, placement: Any, faults: Any) -> t
     return (kind, cfg, nprocs, str(placement), None if faults is None else repr(faults))
 
 
+def _program_for(app: str, programs: Dict[str, Any], model: str):
+    """The app's program for ``model``, or a ValueError naming the choices."""
+    try:
+        return programs[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {model!r} for app {app!r}; "
+            f"choose from {sorted(programs)}"
+        ) from None
+
+
 def _machine_config(nprocs: int, derived: Optional[Dict[str, Any]]):
     """Config for a run that overrides ``derived`` switches (else default)."""
     if not derived:
@@ -50,21 +64,48 @@ def _adapt_runner(model, nprocs, workload, placement, trace=False, faults=None, 
     if script is None:
         script = build_script(cfg, nprocs)
         _script_cache[key] = script
-    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
+    return run_program(model, _program_for("adapt", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
+
+
+def _scenario_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
+    """Run a generated scenario spec through the adapt machinery.
+
+    ``workload`` is a :class:`repro.workloads.synth.ScenarioSpec` or a
+    path to one on disk.  The cached trajectory is keyed on the spec's
+    *content hash* (not its name or config object), so distinct generated
+    scenarios can never alias one script.
+    """
+    from repro.apps.adapt import ADAPT_PROGRAMS
+    from repro.workloads.synth import ScenarioSpec, load_spec, spec_config
+
+    if workload is None:
+        raise ValueError(
+            "app 'scenario' needs a workload: a ScenarioSpec or a path to a "
+            "*.scenario.json (see `repro scenarios generate`)"
+        )
+    spec = workload if isinstance(workload, ScenarioSpec) else load_spec(workload)
+    key = _run_key("scenario", spec.content_hash(), nprocs, placement, faults)
+    script = _script_cache.get(key)
+    if script is None:
+        from repro.apps.adapt import build_script
+
+        script = build_script(spec_config(spec), nprocs)
+        _script_cache[key] = script
+    return run_program(model, _program_for("scenario", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
 
 
 def _nbody_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
     from repro.apps.nbody import NBODY_PROGRAMS, NBodyConfig
 
     cfg = workload or NBodyConfig()
-    return run_program(model, NBODY_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
+    return run_program(model, _program_for("nbody", NBODY_PROGRAMS, model), nprocs, cfg, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
 
 
 def _jacobi_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
     from repro.apps.jacobi import JACOBI_PROGRAMS, JacobiConfig
 
     cfg = workload or JacobiConfig()
-    return run_program(model, JACOBI_PROGRAMS[model], nprocs, cfg, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
+    return run_program(model, _program_for("jacobi", JACOBI_PROGRAMS, model), nprocs, cfg, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
 
 
 def _adapt3d_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
@@ -77,7 +118,7 @@ def _adapt3d_runner(model, nprocs, workload, placement, trace=False, faults=None
     if script is None:
         script = build_script3d(cfg, nprocs)
         _script_cache[key] = script
-    return run_program(model, ADAPT_PROGRAMS[model], nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
+    return run_program(model, _program_for("adapt3d", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
 
 
 APPS = {
@@ -85,6 +126,7 @@ APPS = {
     "adapt3d": _adapt3d_runner,
     "nbody": _nbody_runner,
     "jacobi": _jacobi_runner,
+    "scenario": _scenario_runner,
 }
 
 
@@ -102,11 +144,14 @@ def run_app(
 
     Args:
         app: application name — one of :data:`APPS`
-            (``"adapt"``, ``"adapt3d"``, ``"nbody"``, ``"jacobi"``).
+            (``"adapt"``, ``"adapt3d"``, ``"nbody"``, ``"jacobi"``,
+            ``"scenario"``).
         model: programming model (``"mpi"``, ``"shmem"``, ``"sas"``,
             ``"hybrid"``).
         nprocs: number of ranks/CPUs.
-        workload: app-specific config object (e.g. ``AdaptConfig``);
+        workload: app-specific config object (e.g. ``AdaptConfig``; for
+            ``"scenario"`` a :class:`repro.workloads.synth.ScenarioSpec`
+            or a path to one — required, there is no default scenario);
             ``None`` uses the app's default workload.
         placement: page-placement policy for shared data.
         trace: record structured communication events (returned on

@@ -3,12 +3,28 @@
 The paper's applications ran on real CFD and astrophysics inputs we do not
 have; these generators produce the closest synthetic equivalents that
 exercise identical code paths: a moving shock front that drags a refinement
-cascade across the mesh, and a Plummer-model star cluster whose central
+cascade across the mesh, a Plummer-model star cluster whose central
 condensation produces the deep, imbalanced Barnes–Hut trees that make
-N-body adaptive.
+N-body adaptive, and (``repro.workloads.synth``) a seeded generator of
+whole scenario *spaces* — multi-front shocks, refinement storms,
+imbalance waves, drifting hot spots — emitted as reproducible on-disk
+specs.
+
+Determinism contract (locked by ``tests/test_synth.py``): every stochastic
+generator in this package takes an explicit ``seed`` argument and is
+bit-identical per seed; none touches module-level RNG state.  The analytic
+workloads (``MovingShock``, ``MovingShock3D``, ``SphericalBlast``) draw no
+random numbers at all.
 """
 
 from repro.workloads.shock import MovingShock
-from repro.workloads.plummer import plummer_bodies
+from repro.workloads.shock3d import MovingShock3D, SphericalBlast
+from repro.workloads.plummer import plummer_bodies, uniform_bodies
 
-__all__ = ["MovingShock", "plummer_bodies"]
+__all__ = [
+    "MovingShock",
+    "MovingShock3D",
+    "SphericalBlast",
+    "plummer_bodies",
+    "uniform_bodies",
+]

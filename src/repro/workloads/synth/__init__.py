@@ -1,0 +1,46 @@
+"""Synthetic scenario generator: a workload *space* instead of two apps.
+
+The paper compares MPI, SHMEM, and CC-SAS on two hand-written adaptive
+applications; this subsystem re-asks that question over a parameterised
+scenario space.  ``generate_scenario`` draws a reproducible scenario
+(multi-feature moving shocks, bursty refinement storms, time-varying
+imbalance waves, drifting hot spots) from a seed; the result is an
+on-disk :class:`ScenarioSpec` whose fully materialised schedule replays
+bit-identically, runs under every programming model through the
+``apps/adapt`` machinery, and is characterised offline by
+:func:`characterise`.  See ``docs/workloads.md``.
+"""
+
+from repro.workloads.synth.spec import (
+    SPEC_SUFFIX,
+    SPEC_VERSION,
+    Feature,
+    PhaseSpec,
+    ScenarioSpec,
+    load_spec,
+)
+from repro.workloads.synth.generator import (
+    SCENARIO_CLASSES,
+    generate_scenario,
+    regenerate,
+)
+from repro.workloads.synth.workload import SyntheticWorkload, spec_config, spec_workload
+from repro.workloads.synth.insights import characterise, insights_path, write_insights
+
+__all__ = [
+    "SPEC_SUFFIX",
+    "SPEC_VERSION",
+    "Feature",
+    "PhaseSpec",
+    "ScenarioSpec",
+    "load_spec",
+    "SCENARIO_CLASSES",
+    "generate_scenario",
+    "regenerate",
+    "SyntheticWorkload",
+    "spec_config",
+    "spec_workload",
+    "characterise",
+    "insights_path",
+    "write_insights",
+]

@@ -1,0 +1,230 @@
+"""Seeded scenario generators: four parameterised adaptive-scenario classes.
+
+Each generator draws a scenario from ``numpy``'s ``default_rng(seed)`` in
+a fixed order, materialises every per-phase value into the spec's
+schedule, and rounds all floats to 9 decimals — so the same
+``(class, seed, knobs)`` always produces the byte-identical spec, and
+:func:`regenerate` can rebuild any spec from its own header.
+
+Classes
+-------
+``multi_front``       several moving shock fronts at random angles/speeds
+``refinement_storm``  one front plus bursty phases where the band widens
+                      and refinement deepens (a refinement storm)
+``imbalance_wave``    a blob whose radius swells and shrinks over phases,
+                      concentrating then releasing load (time-varying
+                      imbalance profile)
+``hotspot_drift``     a blob whose centre random-walks across the domain
+
+All generators share the ``intensity`` knob (0..1): it scales the class's
+characteristic difficulty — feature count, storm probability, wave
+amplitude, drift step — so a single axis sweeps each class from calm to
+wild.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.synth.spec import Feature, PhaseSpec, ScenarioSpec
+
+__all__ = ["SCENARIO_CLASSES", "generate_scenario", "regenerate"]
+
+
+def _r(x: float) -> float:
+    """Round to 9 decimals: canonical float precision of a spec."""
+    return round(float(x), 9)
+
+
+def _merge_knobs(defaults: Dict[str, float], knobs: Dict[str, float], cls: str) -> Dict[str, float]:
+    unknown = sorted(set(knobs) - set(defaults))
+    if unknown:
+        raise ValueError(
+            f"unknown knob(s) {unknown} for scenario class {cls!r}; "
+            f"valid knobs: {sorted(defaults)}"
+        )
+    out = dict(defaults)
+    out.update({k: _r(v) for k, v in knobs.items()})
+    if not 0.0 <= out["intensity"] <= 1.0:
+        raise ValueError(f"intensity must be in [0, 1], got {out['intensity']}")
+    return out
+
+
+def _front_at(cx: float, cy: float, nx: float, ny: float, amplitude: float = 1.0) -> Feature:
+    return Feature(kind="front", cx=_r(cx), cy=_r(cy), nx=_r(nx), ny=_r(ny),
+                   amplitude=_r(amplitude))
+
+
+def _blob_at(cx: float, cy: float, radius: float, amplitude: float = 1.0) -> Feature:
+    return Feature(kind="blob", cx=_r(cx), cy=_r(cy), radius=_r(radius),
+                   amplitude=_r(amplitude))
+
+
+# ---------------------------------------------------------------------------
+# class generators: (rng, phases, knobs) -> schedule
+# ---------------------------------------------------------------------------
+
+def _gen_multi_front(rng: np.random.Generator, phases: int, kn: Dict[str, float]) -> Tuple[PhaseSpec, ...]:
+    intensity = kn["intensity"]
+    nfeat = 1 + int(round(2 * intensity))  # 1..3 fronts
+    fronts = []
+    for _ in range(nfeat):
+        angle = rng.uniform(0.0, math.pi)
+        nx, ny = math.cos(angle), math.sin(angle)
+        offset = rng.uniform(-0.25, 0.25)
+        speed = rng.uniform(0.06, 0.09 + 0.09 * intensity)
+        if rng.random() < 0.5:
+            speed = -speed
+        fronts.append((0.5 + offset * nx, 0.5 + offset * ny, nx, ny, speed))
+    band = 0.04 + 0.02 * intensity
+    schedule = []
+    for k in range(phases):
+        feats = tuple(
+            _front_at(cx + k * sp * nx, cy + k * sp * ny, nx, ny)
+            for cx, cy, nx, ny, sp in fronts
+        )
+        schedule.append(PhaseSpec(features=feats, band=_r(band), max_level=2,
+                                  coarsen_distance=0.2, thickness=0.04))
+    return tuple(schedule)
+
+
+def _gen_refinement_storm(rng: np.random.Generator, phases: int, kn: Dict[str, float]) -> Tuple[PhaseSpec, ...]:
+    intensity = kn["intensity"]
+    storm_prob = 0.2 + 0.6 * intensity
+    x0 = rng.uniform(0.1, 0.25)
+    speed = rng.uniform(0.08, 0.14)
+    storms = [k >= 1 and bool(rng.random() < storm_prob) for k in range(phases)]
+    if phases > 1 and not any(storms):
+        storms[max(1, phases // 2)] = True  # every storm scenario storms at least once
+    band = 0.04
+    scale = 1.8 + 1.2 * intensity
+    schedule = []
+    for k in range(phases):
+        feats = (_front_at(x0 + k * speed, 0.5, 1.0, 0.0),)
+        stormy = storms[k]
+        schedule.append(PhaseSpec(
+            features=feats,
+            band=_r(band * (scale if stormy else 1.0)),
+            max_level=3 if stormy else 2,
+            coarsen_distance=0.2,
+            thickness=0.04,
+        ))
+    return tuple(schedule)
+
+
+def _gen_imbalance_wave(rng: np.random.Generator, phases: int, kn: Dict[str, float]) -> Tuple[PhaseSpec, ...]:
+    intensity = kn["intensity"]
+    cx = rng.uniform(0.3, 0.7)
+    cy = rng.uniform(0.3, 0.7)
+    phase0 = rng.uniform(0.0, 2.0 * math.pi)
+    period = max(2.0, kn["period"])
+    amp = 0.25 + 0.55 * intensity
+    r0 = 0.14
+    schedule = []
+    for k in range(phases):
+        radius = r0 * (1.0 + amp * math.sin(2.0 * math.pi * k / period + phase0))
+        radius = max(radius, 0.02)
+        schedule.append(PhaseSpec(
+            features=(_blob_at(cx, cy, radius),),
+            band=0.05,
+            max_level=2,
+            coarsen_distance=0.18,
+            thickness=0.05,
+        ))
+    return tuple(schedule)
+
+
+def _gen_hotspot_drift(rng: np.random.Generator, phases: int, kn: Dict[str, float]) -> Tuple[PhaseSpec, ...]:
+    intensity = kn["intensity"]
+    step = 0.06 + 0.12 * intensity
+    radius = 0.12 + 0.04 * intensity
+    cx = rng.uniform(0.3, 0.7)
+    cy = rng.uniform(0.3, 0.7)
+    schedule = []
+    for k in range(phases):
+        schedule.append(PhaseSpec(
+            features=(_blob_at(cx, cy, radius),),
+            band=0.05,
+            max_level=2,
+            coarsen_distance=0.18,
+            thickness=0.05,
+        ))
+        dx, dy = rng.uniform(-step, step, 2)
+        cx = min(max(cx + dx, 0.15), 0.85)
+        cy = min(max(cy + dy, 0.15), 0.85)
+    return tuple(schedule)
+
+
+#: scenario class -> (generator, default knobs).  ``intensity`` is common.
+SCENARIO_CLASSES: Dict[str, Tuple[Callable, Dict[str, float]]] = {
+    "multi_front": (_gen_multi_front, {"intensity": 0.5}),
+    "refinement_storm": (_gen_refinement_storm, {"intensity": 0.5}),
+    "imbalance_wave": (_gen_imbalance_wave, {"intensity": 0.5, "period": 3.0}),
+    "hotspot_drift": (_gen_hotspot_drift, {"intensity": 0.5}),
+}
+
+
+def generate_scenario(
+    scenario_class: str,
+    seed: int = 0,
+    name: Optional[str] = None,
+    mesh_n: int = 8,
+    phases: int = 5,
+    solver_iters: int = 6,
+    **knobs: float,
+) -> ScenarioSpec:
+    """Draw one scenario of ``scenario_class`` deterministically from ``seed``.
+
+    Args:
+        scenario_class: one of :data:`SCENARIO_CLASSES`.
+        seed: RNG seed; same ``(class, seed, knobs)`` => byte-identical spec.
+        name: spec name; default ``"<class>-s<seed>"``.
+        mesh_n: structured cells per side of the base mesh.
+        phases: adaptation phases (schedule length).
+        solver_iters: relaxation sweeps per phase.
+        **knobs: class knobs (see :data:`SCENARIO_CLASSES` defaults); every
+            class takes ``intensity`` in [0, 1].
+
+    Returns:
+        The fully materialised :class:`ScenarioSpec`.
+    """
+    try:
+        gen, defaults = SCENARIO_CLASSES[scenario_class]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario class {scenario_class!r}; "
+            f"choose from {sorted(SCENARIO_CLASSES)}"
+        ) from None
+    kn = _merge_knobs(defaults, knobs, scenario_class)
+    rng = np.random.default_rng(seed)
+    schedule = gen(rng, phases, kn)
+    return ScenarioSpec(
+        name=name or f"{scenario_class}-s{seed}",
+        scenario_class=scenario_class,
+        seed=seed,
+        mesh_n=mesh_n,
+        phases=phases,
+        solver_iters=solver_iters,
+        knobs=tuple(sorted(kn.items())),
+        schedule=schedule,
+    )
+
+
+def regenerate(spec: ScenarioSpec) -> ScenarioSpec:
+    """Rebuild a spec from its own header (class, seed, knobs, base shape).
+
+    Locked by test: the result is byte-identical to ``spec`` — the
+    reproducibility contract of the generator.
+    """
+    return generate_scenario(
+        spec.scenario_class,
+        seed=spec.seed,
+        name=spec.name,
+        mesh_n=spec.mesh_n,
+        phases=spec.phases,
+        solver_iters=spec.solver_iters,
+        **spec.knob_dict,
+    )

@@ -1,0 +1,126 @@
+"""Characterising a scenario before anyone pays to simulate it.
+
+:func:`characterise` builds the model-independent trajectory of a spec
+(the same :class:`~repro.apps.adapt.AdaptScript` every program replays)
+and distils it into an ``insights.json``-style record: how much the mesh
+adapts each phase, how much data crosses partition boundaries, and how
+the load imbalance evolves — the axes along which the three programming
+models differ.  Because the trajectory is deterministic, the insights
+are a property of the spec, not of any particular run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.workloads.synth.spec import SPEC_SUFFIX, ScenarioSpec
+
+__all__ = ["characterise", "write_insights", "insights_path"]
+
+_FLOAT_BYTES = 8  # one solution value per ghost vertex per exchange
+
+
+def characterise(spec: ScenarioSpec, nprocs: int = 8) -> Dict[str, Any]:
+    """Trajectory-derived characterisation of ``spec`` at ``nprocs`` ranks.
+
+    Returns a JSON-ready dict: per-phase mesh size, refinement/coarsening
+    activity, halo and migration volume, and the imbalance trajectory,
+    plus scalar aggregates (``comm_volume_bytes``, ``adaptation_rate``,
+    ``migration_fraction``, ``peak_imbalance``).
+    """
+    from repro.apps.adapt import build_script
+    from repro.workloads.synth.workload import spec_config
+
+    script = build_script(spec_config(spec), nprocs)
+    phases = []
+    total_halo = total_migration = total_refined = total_coarsened = 0
+    total_migrated_elems = 0
+    for plan in script.phases:
+        halo_bytes = sum(len(ids) for ids in plan.ghost_sends.values()) * _FLOAT_BYTES
+        # one exchange to seed ghosts + one per sweep (the app's loop shape)
+        halo_bytes *= spec.solver_iters + 1
+        migrated = sum(len(e) for e in plan.migration_elems.values())
+        migration_bytes = (
+            migrated * spec_config(spec).element_bytes
+            + sum(len(v) for v in plan.migration_verts.values()) * 2 * _FLOAT_BYTES
+        )
+        refined = int(plan.refined_per_rank.sum())
+        phases.append({
+            "phase": plan.index,
+            "nels": plan.nels,
+            "nverts": plan.nverts,
+            "refined_families": refined,
+            "coarsened_families": plan.coarsened_families,
+            "halo_pairs": len(plan.ghost_sends),
+            "halo_bytes": halo_bytes,
+            "migrated_elements": migrated,
+            "migration_bytes": migration_bytes,
+            "rebalanced": bool(plan.rebalanced),
+            "imbalance_before": plan.imbalance_before,
+            "imbalance_after": plan.imbalance_after,
+        })
+        total_halo += halo_bytes
+        total_migration += migration_bytes
+        total_refined += refined
+        total_coarsened += plan.coarsened_families
+        total_migrated_elems += migrated
+    adapt_phases = [p for p in phases if p["phase"] > 0]
+    mean_els = sum(p["nels"] for p in phases) / len(phases)
+    return {
+        "spec": {
+            "name": spec.name,
+            "scenario_class": spec.scenario_class,
+            "seed": spec.seed,
+            "content_hash": spec.content_hash(),
+            "knobs": spec.knob_dict,
+            "mesh_n": spec.mesh_n,
+            "phases": spec.phases,
+            "solver_iters": spec.solver_iters,
+        },
+        "nprocs": nprocs,
+        "final_elements": script.total_elements_final,
+        "reference_checksum": script.reference_checksum,
+        "comm_volume_bytes": total_halo + total_migration,
+        "halo_bytes": total_halo,
+        "migration_bytes": total_migration,
+        "adaptation_rate": (
+            (total_refined + total_coarsened) / (mean_els * max(len(adapt_phases), 1))
+            if mean_els else 0.0
+        ),
+        "migration_fraction": (
+            total_migrated_elems / (mean_els * max(len(adapt_phases), 1))
+            if mean_els else 0.0
+        ),
+        "peak_imbalance": max(b for b, _ in script.imbalance_trace),
+        "imbalance_trajectory": [list(pair) for pair in script.imbalance_trace],
+        "per_phase": phases,
+    }
+
+
+def insights_path(spec_path: Union[str, Path]) -> Path:
+    """``foo.scenario.json`` -> ``foo.insights.json`` (sibling convention)."""
+    p = Path(spec_path)
+    name = p.name
+    if name.endswith(SPEC_SUFFIX):
+        name = name[: -len(SPEC_SUFFIX)]
+    else:
+        name = p.stem
+    return p.with_name(f"{name}.insights.json")
+
+
+def write_insights(
+    spec: ScenarioSpec,
+    path: Union[str, Path],
+    nprocs: int = 8,
+    record: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``characterise(spec, nprocs)`` (or ``record``) as JSON."""
+    record = record if record is not None else characterise(spec, nprocs)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

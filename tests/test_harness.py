@@ -22,7 +22,7 @@ SMALL = JacobiConfig(nx=32, ny=32, iters=4)
 
 class TestRunApp:
     def test_all_apps_registered(self):
-        assert set(APPS) == {"adapt", "adapt3d", "nbody", "jacobi"}
+        assert set(APPS) == {"adapt", "adapt3d", "nbody", "jacobi", "scenario"}
 
     def test_unknown_app_rejected(self):
         with pytest.raises(ValueError, match="unknown app"):
