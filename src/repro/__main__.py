@@ -13,6 +13,8 @@ Commands
 ``bench-faults`` per-model fault-recovery overhead (retries, goodput)
 ``bench-scenarios`` model × P × scenario-class ranking-flip sweep
 ``scenarios`` generate / describe / list synthetic scenario specs
+``serve``   serve a JSON sweep spec from the result store, incrementally
+``cache``   administer the on-disk result store (stats / gc / verify)
 ``effort``  the programming-effort (LoC) table
 ``describe`` the simulated machine for a given processor count
 ``paper``   regenerate every experiment table/figure (R-F*/R-T*)
@@ -24,6 +26,15 @@ with tracing on or off) and optionally exports them; ``--check-sync``
 runs the trace-based synchronization checker on the event stream.
 ``run --scenario SPEC`` runs a generated scenario (a ``*.scenario.json``
 path or a scenario class name) under any model, including ``hybrid``.
+
+Serving (see ``docs/serving.md``): the sweep-shaped commands (``sweep``,
+``bench-faults``, ``bench-scenarios``, ``serve``) consult the
+content-addressed result store by default — ``--no-cache`` opts out,
+``--cache-dir`` relocates it, ``-j/--jobs N`` shards uncached cells over
+N worker processes.  The host-time benches (``bench-sas``, ``bench-net``,
+``bench-engine``) and ``run`` opt *in* with ``--serve``: their timing
+arms always run live, so only their sweep/equivalence sections are
+served.
 """
 
 from __future__ import annotations
@@ -160,6 +171,43 @@ def _resolve_scenario(spec_arg: str):
     )
 
 
+def _store_from_args(args: argparse.Namespace, default_on: bool):
+    """The :class:`~repro.serving.ResultStore` a command's flags ask for.
+
+    Sweep-shaped commands serve by default (``default_on=True``, opt out
+    with ``--no-cache``); host-time benches and ``run`` opt in with
+    ``--serve``.  Returns ``None`` when serving is off.
+    """
+    if default_on:
+        if getattr(args, "no_cache", False):
+            return None
+    elif not getattr(args, "serve", False):
+        return None
+    from repro.serving import ResultStore
+
+    return ResultStore(getattr(args, "cache_dir", None))
+
+
+def _print_store_report(store) -> None:
+    if store is not None:
+        print(f"  {store.report_line()}")
+
+
+def _check_hit_rate(store, min_hit_rate: float) -> int:
+    """CI gate: fail when the session's serving ratio is below the floor."""
+    if store is None or min_hit_rate <= 0:
+        return 0
+    if store.hit_rate < min_hit_rate:
+        print(
+            f"ERROR: store hit rate {100 * store.hit_rate:.0f}% below the "
+            f"required {100 * min_hit_rate:.0f}% "
+            f"({store.hits}/{store.lookups} lookups served)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     app = args.app or getattr(args, "app_pos", None)
     model = args.model or getattr(args, "model_pos", None)
@@ -207,9 +255,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         faults = resolve_profile(args.faults, seed=args.fault_seed)
     derived = {"engine_batch": args.engine_batch} if args.engine_batch else None
+    store = _store_from_args(args, default_on=False)
     result = run_app(
         app, model, args.nprocs, wl, placement=args.placement, trace=traced,
-        faults=faults, derived=derived,
+        faults=faults, derived=derived, store=store,
     )
     agg = aggregate_breakdown(result)
     what = f"scenario {wl.name}" if app == "scenario" else f"{args.size} workload"
@@ -248,6 +297,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         PROFILER.disable()
         print()
         print(PROFILER.report())
+    _print_store_report(store)
     return rc
 
 
@@ -323,12 +373,18 @@ def cmd_bench_sas(args: argparse.Namespace) -> int:
     from repro.harness.profile import run_sas_microbench, write_bench_json
 
     _check_nprocs(args.nprocs)
+    store = _store_from_args(args, default_on=False)
     record = run_sas_microbench(
-        nprocs=args.nprocs, elements=args.elements, sweeps=args.sweeps
+        nprocs=args.nprocs, elements=args.elements, sweeps=args.sweeps,
+        store=store,
     )
     path = write_bench_json(record, args.output)
     print(f"SAS line-touch microbenchmark (P={args.nprocs}, "
           f"{record['lines_touched']} lines touched)")
+    if "store_verified" in record:
+        state = ("matches the stored fingerprint" if record["store_verified"]
+                 else "seeded the store fingerprint")
+        print(f"  golden check   : {state}")
     print(f"  simulated time : {record['simulated_ns'] / 1e6:.3f} ms "
           f"(bit-identical batch on/off: {record['identical_simulated_ns']})")
     print(f"  scalar path    : {record['scalar']['host_seconds']:.3f} s host "
@@ -358,6 +414,7 @@ def cmd_bench_net(args: argparse.Namespace) -> int:
 
     _check_nprocs(args.nprocs)
     sweep_procs = _check_procs_list(args.procs)
+    store = _store_from_args(args, default_on=False)
     record = run_net_microbench(
         nprocs=args.nprocs,
         flood=args.flood,
@@ -366,6 +423,8 @@ def cmd_bench_net(args: argparse.Namespace) -> int:
         sweep_models=tuple(args.models.split(",")),
         include_sweep=not args.no_sweep,
         profile=not args.no_profile,
+        store=store,
+        jobs=args.jobs,
     )
     wl = record["workload"]
     print(f"network/MPI fast-path benchmark (P={wl['nprocs']}, "
@@ -383,6 +442,7 @@ def cmd_bench_net(args: argparse.Namespace) -> int:
         print(f"  sweep          : {row['app']}/{row['model']} P={row['nprocs']} "
               f"-> {row['elapsed_ms']:.3f} ms sim in {row['host_seconds']:.2f} s host "
               f"[{row['sharer_scheme']}]")
+    _print_store_report(store)
     path = write_net_bench_json(record, args.output)
     print(f"  wrote {path}")
     if args.require_batch:
@@ -407,6 +467,7 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     from repro.harness.enginebench import run_engine_microbench, write_engine_bench_json
 
     _check_nprocs(args.nprocs)
+    store = _store_from_args(args, default_on=False)
     record = run_engine_microbench(
         nprocs=args.nprocs,
         flood=args.flood,
@@ -416,6 +477,8 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
         equivalence_models=tuple(args.models.split(",")),
         include_equivalence=not args.no_equivalence,
         include_engine_only=not args.no_engine_only,
+        store=store,
+        jobs=args.jobs,
     )
     wl = record["workload"]
     eng = record["engine"]
@@ -436,6 +499,7 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     for row in record.get("equivalence", ()):
         print(f"  equivalence    : {row['model']:6s} P={row['nprocs']:<3d} "
               f"{row['events']} events -> identical_trace={row['identical_trace']}")
+    _print_store_report(store)
     path = write_engine_bench_json(record, args.output)
     print(f"  wrote {path}")
     if args.require_batch:
@@ -460,6 +524,7 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
         write_fault_bench_json,
     )
 
+    store = _store_from_args(args, default_on=True)
     record = run_fault_bench(
         app=args.app,
         models=tuple(args.models.split(",")),
@@ -468,8 +533,11 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
         seed=args.seed,
         workload=_workload(args.app, args.size),
         verify=not args.no_verify,
+        store=store,
+        jobs=args.jobs,
     )
     print(format_fault_bench(record))
+    _print_store_report(store)
     path = write_fault_bench_json(record, args.output)
     print(f"  wrote {path}")
     if args.require_retries:
@@ -594,6 +662,7 @@ def cmd_bench_scenarios(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"error: invalid intensity list {args.intensities!r}"
         ) from None
+    store = _store_from_args(args, default_on=True)
     record = run_scenario_bench(
         classes=tuple(args.classes.split(",")),
         models=tuple(args.models.split(",")),
@@ -605,8 +674,11 @@ def cmd_bench_scenarios(args: argparse.Namespace) -> int:
         solver_iters=args.solver_iters,
         placement=args.placement,
         include_insights=not args.no_insights,
+        store=store,
+        jobs=args.jobs,
     )
     print(format_scenario_bench(record))
+    _print_store_report(store)
     path = write_scenario_bench_json(record, args.output)
     print(f"  wrote {path}")
     if args.require_report and not record["flips"]:
@@ -616,13 +688,17 @@ def cmd_bench_scenarios(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return _check_hit_rate(store, args.min_hit_rate)
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     wl = _workload(args.app, args.size)
     plist = _check_procs_list(args.procs)
-    rows = sweep(args.app, models=args.models.split(","), nprocs_list=plist, workload=wl)
+    store = _store_from_args(args, default_on=True)
+    rows = sweep(
+        args.app, models=args.models.split(","), nprocs_list=plist, workload=wl,
+        store=store, jobs=args.jobs,
+    )
     print(
         format_table(
             ["model", "P", "time_ms", "speedup", "efficiency"],
@@ -635,6 +711,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         series.setdefault(r.model, []).append((r.nprocs, r.speedup))
     print()
     print(ascii_chart(series, title="speedup", xlabel="processors", ylabel="speedup"))
+    _print_store_report(store)
     return 0
 
 
@@ -694,6 +771,149 @@ def cmd_paper(args: argparse.Namespace) -> int:
     return rc
 
 
+def _serve_cells_from_spec(path: str) -> list:
+    """Parse a ``serve`` spec file into scheduler cells, in file order.
+
+    The file is a JSON list of cell entries (or ``{"cells": [...]}``);
+    each entry names at least an ``app`` and may carry ``model`` or a
+    ``models`` list, ``nprocs`` (int or list), ``size``, ``scenario``,
+    ``placement``, ``faults`` (+ ``fault_seed``), and ``derived``.  List
+    fields cross-product in P-major, model-minor order.
+    """
+    import json as _json
+
+    from repro.serving import Cell
+
+    try:
+        with open(path) as fh:
+            doc = _json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read serve spec {path!r}: {exc}") from None
+    entries = doc.get("cells") if isinstance(doc, dict) else doc
+    if not isinstance(entries, list) or not entries:
+        raise SystemExit(
+            f"error: serve spec {path!r} must be a JSON list of cells or "
+            '{"cells": [...]} (see docs/serving.md)'
+        )
+    cells = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "app" not in entry:
+            raise SystemExit(f"error: serve spec cell #{i} needs at least an 'app'")
+        app = entry["app"]
+        models = entry.get("models") or [entry.get("model", "mpi")]
+        procs = entry.get("nprocs", 8)
+        procs = procs if isinstance(procs, list) else [procs]
+        if entry.get("scenario"):
+            workload = _resolve_scenario(entry["scenario"])
+        elif entry.get("size"):
+            workload = _workload(app, entry["size"])
+        else:
+            workload = None
+        faults = entry.get("faults")
+        if faults:
+            from repro.faults import resolve_profile
+
+            faults = resolve_profile(faults, seed=entry.get("fault_seed"))
+        for n in procs:
+            _check_nprocs(int(n))
+            for model in models:
+                cells.append(Cell(
+                    app, model, int(n), workload,
+                    entry.get("placement", "first-touch"),
+                    faults=faults, derived=entry.get("derived"),
+                ))
+    return cells
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a batch sweep spec incrementally from the result store."""
+    import json as _json
+
+    from repro.serving import ResultStore, plan, refresh
+
+    cells = _serve_cells_from_spec(args.spec)
+    store = ResultStore(args.cache_dir)
+    ahead = plan(cells, store)
+    results, report = refresh(
+        cells, store, jobs=args.jobs, timeout=args.timeout,
+        gc_stale=args.gc_stale,
+    )
+    rows = [
+        {
+            "cell": r.cell.label(),
+            "identity": r.cell.identity(),
+            "source": r.source,
+            "elapsed_ms": r.summary.elapsed_ms if r.summary else None,
+            "error": r.error,
+        }
+        for r in results
+    ]
+    if args.json:
+        print(_json.dumps(
+            {"plan": ahead.counts(), "report": report, "rows": rows},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(f"serve: {report['cells']} cells from {args.spec} "
+              f"(planned: {len(ahead.hits)} cached, {len(ahead.misses)} to compute)")
+        for row in rows:
+            outcome = (f"{row['elapsed_ms']:.3f} ms" if row["elapsed_ms"] is not None
+                       else row["error"])
+            print(f"  {row['cell']:<24} [{row['source']:>8}] {outcome}")
+        print(f"  hits {report['hits']} / misses {report['misses']} / "
+              f"invalidated {report['invalidated']} "
+              f"(stale removed: {report['stale_removed']})")
+        print(f"  {store.report_line()}")
+    return 1 if report["errors"] else 0
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.serving import ResultStore
+
+    st = ResultStore(args.cache_dir).stats()
+    print(f"result store at {st['root']}: {st['entries']} entries, "
+          f"{st['bytes'] / 1024:.1f} KiB ({st['unreadable']} unreadable)")
+    for app, count in sorted(st["by_app"].items()):
+        print(f"  app {app:<16} {count} entries")
+    for eng, count in sorted(st["by_engine"].items()):
+        print(f"  engine {eng:<13} {count} entries")
+    return 0
+
+
+def cmd_cache_verify(args: argparse.Namespace) -> int:
+    from repro.serving import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    problems = store.verify()
+    entries = store.stats()["entries"]
+    if problems:
+        print(f"result store at {store.root}: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"result store at {store.root}: all {entries} entries verify")
+    return 0
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    from repro.serving import ResultStore
+
+    if not (args.older_than or args.outdated or args.all or args.corrupt):
+        raise SystemExit(
+            "error: cache gc needs a criterion: --older-than DAYS, "
+            "--outdated, --corrupt, or --all"
+        )
+    store = ResultStore(args.cache_dir)
+    removed = store.gc(
+        older_than_days=args.older_than,
+        outdated=args.outdated,
+        everything=args.all,
+        corrupt=args.corrupt,
+    )
+    print(f"removed {removed} entries from {store.root}")
+    return 0
+
+
 def cmd_describe(args: argparse.Namespace) -> int:
     _check_nprocs(args.nprocs)
     machine = Machine(MachineConfig(nprocs=args.nprocs))
@@ -708,11 +928,33 @@ def cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser.
+
+    Exposed separately from :func:`main` so tooling (``tools/
+    check_docs.py``) can introspect the real subcommands and option
+    strings and fail on stale CLI invocations in the docs.
+    """
     parser = argparse.ArgumentParser(
         prog="repro", description="Origin2000 three-programming-models reproduction"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_serving(p, default_on, jobs=True):
+        """The serving-layer flags (see docs/serving.md)."""
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-store root (default: $REPRO_CACHE_DIR "
+                            "or ./.repro-cache)")
+        if default_on:
+            p.add_argument("--no-cache", action="store_true",
+                           help="bypass the result store: compute every cell live")
+        else:
+            p.add_argument("--serve", action="store_true",
+                           help="consult the content-addressed result store "
+                                "(timing arms always run live)")
+        if jobs:
+            p.add_argument("-j", "--jobs", type=int, default=1,
+                           help="shard uncached cells over N worker processes")
 
     def _add_app_model(p, need_model=True):
         """app/model as positionals or flags (``run adapt mpi`` == ``run --app adapt --model mpi``)."""
@@ -757,6 +999,7 @@ def main(argv=None) -> int:
                    help="force the batched event engine on or off "
                         "(off restores the scalar one-event-at-a-time loop; "
                         "simulated time is bit-identical either way)")
+    _add_serving(p, default_on=False, jobs=False)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("trace", help="traced run: event summary + export")
@@ -781,6 +1024,7 @@ def main(argv=None) -> int:
     p.add_argument("-p", "--procs", default="1,2,4,8")
     p.add_argument("-m", "--models", default="mpi,shmem,sas")
     p.add_argument("-s", "--size", choices=("small", "medium", "large"), default="small")
+    _add_serving(p, default_on=True)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("micro", help="machine latency microbenchmarks")
@@ -797,6 +1041,7 @@ def main(argv=None) -> int:
                    help="fail unless the batched fast path is enabled (CI)")
     p.add_argument("--min-speedup", type=float, default=0.0,
                    help="with --require-batch: fail below this host speedup")
+    _add_serving(p, default_on=False, jobs=False)
     p.set_defaults(fn=cmd_bench_sas)
 
     p = sub.add_parser("bench-net",
@@ -817,6 +1062,7 @@ def main(argv=None) -> int:
                    help="fail unless the batched fast paths are enabled (CI)")
     p.add_argument("--min-speedup", type=float, default=0.0,
                    help="fail below this host speedup (CI)")
+    _add_serving(p, default_on=False)
     p.set_defaults(fn=cmd_bench_net)
 
     p = sub.add_parser("bench-engine",
@@ -840,6 +1086,7 @@ def main(argv=None) -> int:
                    help="fail unless the batched engine is enabled by default (CI)")
     p.add_argument("--min-speedup", type=float, default=0.0,
                    help="fail below this host speedup (CI)")
+    _add_serving(p, default_on=False)
     p.set_defaults(fn=cmd_bench_engine)
 
     p = sub.add_parser("bench-faults",
@@ -857,6 +1104,7 @@ def main(argv=None) -> int:
                    help="skip the determinism double-run of each faulted config")
     p.add_argument("--require-retries", action="store_true",
                    help="fail unless every model at P>1 exercised recovery (CI)")
+    _add_serving(p, default_on=True)
     p.set_defaults(fn=cmd_bench_faults)
 
     p = sub.add_parser("bench-scenarios",
@@ -878,6 +1126,10 @@ def main(argv=None) -> int:
     p.add_argument("-o", "--output", default=None, help="BENCH_SCENARIOS.json path")
     p.add_argument("--require-report", action="store_true",
                    help="fail unless the sweep finds ranking flips (CI)")
+    p.add_argument("--min-hit-rate", type=float, default=0.0,
+                   help="fail unless this fraction of lookups is served "
+                        "from the store (warm-cache CI gate)")
+    _add_serving(p, default_on=True)
     p.set_defaults(fn=cmd_bench_scenarios)
 
     p = sub.add_parser("scenarios",
@@ -915,6 +1167,50 @@ def main(argv=None) -> int:
                    help="directory searched (recursively) for *.scenario.json")
     l.set_defaults(fn=cmd_scenarios_list)
 
+    p = sub.add_parser("serve",
+                       help="serve a JSON sweep spec from the result store")
+    p.add_argument("spec", metavar="SPEC.json",
+                   help="JSON list of cells (or {\"cells\": [...]}); each cell "
+                        "names an app plus model(s), nprocs, size/scenario, "
+                        "placement, faults, derived")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result-store root (default: $REPRO_CACHE_DIR "
+                        "or ./.repro-cache)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="shard uncached cells over N worker processes")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell deadline in seconds (pool mode only)")
+    p.add_argument("--gc-stale", action="store_true",
+                   help="also delete store entries this sweep invalidated "
+                        "(same cell identity, superseded content)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the plan/report/rows as JSON instead of text")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("cache",
+                       help="administer the on-disk result store")
+    csub = p.add_subparsers(dest="cache_command", required=True)
+
+    c = csub.add_parser("stats", help="store inventory: entries, bytes, apps")
+    c.add_argument("--cache-dir", default=None, metavar="DIR")
+    c.set_defaults(fn=cmd_cache_stats)
+
+    c = csub.add_parser("verify",
+                        help="re-derive every entry's key from its signature")
+    c.add_argument("--cache-dir", default=None, metavar="DIR")
+    c.set_defaults(fn=cmd_cache_verify)
+
+    c = csub.add_parser("gc", help="remove store entries by age/version/state")
+    c.add_argument("--cache-dir", default=None, metavar="DIR")
+    c.add_argument("--older-than", type=float, default=None, metavar="DAYS",
+                   help="drop entries older than this many days")
+    c.add_argument("--outdated", action="store_true",
+                   help="drop entries from other engine versions (never hit)")
+    c.add_argument("--corrupt", action="store_true",
+                   help="drop unreadable or mis-keyed entries")
+    c.add_argument("--all", action="store_true", help="drop every entry")
+    c.set_defaults(fn=cmd_cache_gc)
+
     p = sub.add_parser("effort", help="programming-effort (LoC) table")
     p.set_defaults(fn=cmd_effort)
 
@@ -925,7 +1221,11 @@ def main(argv=None) -> int:
     p = sub.add_parser("paper", help="regenerate every experiment (R-F*/R-T*)")
     p.set_defaults(fn=cmd_paper)
 
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except ValueError as exc:

@@ -166,6 +166,62 @@ def equivalence_row(model: str, nprocs: int) -> Dict[str, Any]:
     }
 
 
+def _equivalence_cell(combo: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool worker for one equivalence row (picklable payload form)."""
+    return equivalence_row(combo["model"], combo["nprocs"])
+
+
+def _equivalence_rows(
+    combos: Sequence[Dict[str, Any]],
+    store: Any = None,
+    jobs: int = 1,
+) -> List[Dict[str, Any]]:
+    """Equivalence rows through the serving layer: store-first, then pool.
+
+    These are not ``run_app`` cells, so they are cached under a generic
+    signature — bench name, model, P, both derived stacks, and the engine
+    version — and served like any other content-addressed result.
+    """
+    import repro
+    from repro.serving import cache_key, run_tasks
+    from repro.serving.store import STORE_SCHEMA
+
+    combos = list(combos)
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(combos)
+    pending: List[Tuple[int, Dict[str, Any], Optional[str], Optional[Dict[str, Any]]]] = []
+    for i, combo in enumerate(combos):
+        if store is None:
+            pending.append((i, combo, None, None))
+            continue
+        sig = {
+            "schema": STORE_SCHEMA,
+            "engine": repro.__version__,
+            "bench": "engine-equivalence",
+            "arms": {"batched": BATCHED_DERIVED, "scalar": SCALAR_DERIVED},
+            "model": combo["model"],
+            "nprocs": combo["nprocs"],
+        }
+        key = cache_key(sig)
+        payload = store.get(key)
+        if payload is not None:
+            rows[i] = payload
+            continue
+        pending.append((i, combo, key, sig))
+    computed = run_tasks(_equivalence_cell, [c for _, c, _, _ in pending], jobs=jobs)
+    for (i, combo, key, sig), (row, error, _) in zip(pending, computed):
+        if error is not None:
+            raise RuntimeError(
+                f"equivalence row {combo['model']}/P{combo['nprocs']} failed: {error}"
+            )
+        if store is not None and key is not None:
+            store.put(
+                key, sig, row,
+                identity=f"engine-equivalence/{combo['model']}/P{combo['nprocs']}",
+            )
+        rows[i] = row
+    return [r for r in rows if r is not None]
+
+
 def run_engine_microbench(
     nprocs: int = 128,
     flood: int = 384,
@@ -175,6 +231,8 @@ def run_engine_microbench(
     equivalence_models: Sequence[str] = ("mpi", "shmem", "sas", "hybrid"),
     include_equivalence: bool = True,
     include_engine_only: bool = True,
+    store: Any = None,
+    jobs: int = 1,
 ) -> Dict[str, Any]:
     """Benchmark the batched engine core; returns the ``BENCH_ENGINE`` record.
 
@@ -182,6 +240,10 @@ def run_engine_microbench(
     full scalar stack (the pre-batching pipeline), interleaving ``reps``
     repetitions of each arm and taking the per-arm minimum host time.
     The two simulated timelines are asserted bit-identical first.
+
+    ``store`` / ``jobs`` apply only to the equivalence rows — the timing
+    arms are host-time measurements and always run live, interleaved, in
+    this process.
     """
     from repro.harness.netbench import _halo_pairs
 
@@ -242,12 +304,13 @@ def run_engine_microbench(
             "speedup": best_eo / best_on if best_on > 0 else float("inf"),
         }
     if include_equivalence:
-        record["equivalence"] = [
-            equivalence_row(model, p)
+        combos = [
+            {"model": model, "nprocs": p}
             for model in equivalence_models
             for p in equivalence_procs
             if p <= 128
         ]
+        record["equivalence"] = _equivalence_rows(combos, store=store, jobs=jobs)
         if not all(row["identical_trace"] for row in record["equivalence"]):
             bad = [r for r in record["equivalence"] if not r["identical_trace"]]
             raise AssertionError(f"obs-trace divergence in equivalence rows: {bad}")

@@ -2,27 +2,79 @@
 
 ``run_app("adapt", "mpi", 8)`` runs one configuration; ``sweep`` produces
 the rows behind every speedup figure in EXPERIMENTS.md.  Workload
-trajectories (the adapt script) are deterministic, so they are cached —
-keyed on the *full* run signature (app, config, nprocs, placement, fault
-profile), not just (config, nprocs): two runs that differ only in
-placement or injected faults must never alias one cached script object,
-or state carried on the script could leak between configurations.  For
-the ``"scenario"`` app the config component of that signature is the
-scenario spec's sha256 content hash, so sweep cells from two generated
-scenarios — however similar their knobs — can never collide.
+trajectories (the adapt script) are deterministic, so they are cached
+in-process — keyed on the *full* run signature (app, config, nprocs,
+placement, fault profile), not just (config, nprocs): two runs that
+differ only in placement or injected faults must never alias one cached
+script object, or state carried on the script could leak between
+configurations.  For the ``"scenario"`` app the config component of that
+signature is the scenario spec's sha256 content hash, so sweep cells
+from two generated scenarios — however similar their knobs — can never
+collide.  The script cache is a bounded LRU (:data:`SCRIPT_CACHE_MAX`
+entries, evictions logged to the host-time profiler), so a long sweep
+cycles it instead of growing without bound.
+
+Beyond the in-process cache sits the serving layer: ``run_app(...,
+store=...)`` serves a repeat run from the content-addressed on-disk
+result store, and ``sweep(..., jobs=N, store=...)`` shards the misses of
+a sweep across worker processes — see :mod:`repro.serving` and
+``docs/serving.md``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.models.base import ProgramResult
 from repro.models.registry import run_program
+from repro.sim.profile import PROFILER
 
-__all__ = ["APPS", "SweepRow", "run_app", "sweep"]
+__all__ = ["APPS", "SCRIPT_CACHE_MAX", "SweepRow", "run_app", "sweep"]
 
-_script_cache: Dict[Any, Any] = {}
+#: default bound on the in-process script cache (scripts are a few MB each;
+#: a thousand-cell sweep must not grow memory without bound or signal)
+SCRIPT_CACHE_MAX = 64
+
+
+class _ScriptCache(OrderedDict):
+    """Bounded LRU over built adapt scripts.
+
+    Reads refresh recency; inserts evict the least-recently-used entry
+    once ``maxsize`` is exceeded, logging each eviction to the host-time
+    profiler (bucket ``script-cache-evict``) so a long sweep that cycles
+    workloads leaves a visible trail instead of silently rebuilding —
+    or silently growing.  The dict surface (``in``, ``[]``, ``get``,
+    ``clear``) is unchanged, so callers treat it as a plain cache.
+    """
+
+    def __init__(self, maxsize: int = SCRIPT_CACHE_MAX):
+        super().__init__()
+        self.maxsize = maxsize
+        self.evictions = 0
+
+    def __getitem__(self, key):
+        value = super().__getitem__(key)
+        self.move_to_end(key)
+        return value
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.maxsize:
+            self.popitem(last=False)
+            self.evictions += 1
+            PROFILER.add("script-cache-evict", 0.0)
+
+
+_script_cache: Dict[Any, Any] = _ScriptCache()
 
 
 def _run_key(kind: str, cfg: Any, nprocs: int, placement: Any, faults: Any) -> tuple:
@@ -139,7 +191,8 @@ def run_app(
     trace: bool = False,
     faults: Any = None,
     derived: Optional[Dict[str, Any]] = None,
-) -> ProgramResult:
+    store: Any = None,
+):
     """Run one (app, model, nprocs) configuration on a fresh machine.
 
     Args:
@@ -164,14 +217,47 @@ def run_app(
         derived: extra ``MachineConfig.derived`` switches for this run
             (e.g. ``{"engine_batch": "off"}`` to force the scalar
             event loop) — ``None`` keeps the machine defaults.
+        store: a :class:`repro.serving.ResultStore` for store-first
+            serving — a run whose full signature is already on disk
+            returns its stored :class:`repro.serving.ResultSummary`
+            (bit-identical elapsed time, rank results and aggregate
+            statistics) without simulating; a miss simulates, writes
+            back, and returns the live result.  Traced runs always
+            simulate (event streams are not stored).
 
     Returns:
-        The :class:`ProgramResult` of the run.
+        The :class:`ProgramResult` of the run, or — on a store hit — the
+        stored :class:`repro.serving.ResultSummary` (same read surface
+        for sweep consumers: ``elapsed_ns``/``elapsed_ms``,
+        ``rank_results``, ``phase_ns``, ``fault_summary``, aggregate
+        ``stats``).
     """
     try:
         runner = APPS[app]
     except KeyError:
         raise ValueError(f"unknown app {app!r}; choose from {sorted(APPS)}") from None
+    if store is not None and not trace:
+        from repro.serving.store import (
+            cache_key,
+            resolve_workload,
+            run_identity,
+            run_signature,
+            summarize_result,
+            summary_from_payload,
+        )
+
+        workload = resolve_workload(app, workload)
+        sig = run_signature(app, model, nprocs, workload, placement, faults, derived)
+        key = cache_key(sig)
+        payload = store.get(key)
+        if payload is not None:
+            return summary_from_payload(payload)
+        result = runner(model, nprocs, workload, placement, trace=trace, faults=faults, derived=derived)
+        store.put(
+            key, sig, summarize_result(result),
+            identity=run_identity(app, model, nprocs, workload, placement, faults),
+        )
+        return result
     return runner(model, nprocs, workload, placement, trace=trace, faults=faults, derived=derived)
 
 
@@ -194,15 +280,45 @@ def sweep(
     workload: Any = None,
     placement: str = "first-touch",
     baseline_model: Optional[str] = None,
+    jobs: int = 1,
+    store: Any = None,
 ) -> List[SweepRow]:
     """Run the full cross product; speedups are vs each model's own P=1
     time (or vs ``baseline_model``'s P=1 time when given — the paper-style
-    normalisation to a common uniprocessor baseline)."""
+    normalisation to a common uniprocessor baseline).
+
+    Args:
+        app / models / nprocs_list / workload / placement /
+        baseline_model: the sweep axes, as before.
+        jobs: shard the cells over this many worker processes (each
+            simulation is single-threaded and cells are independent, so
+            ``jobs=4`` produces bit-identical rows to ``jobs=1``).
+        store: a :class:`repro.serving.ResultStore` — cells whose
+            signature is already on disk are served without simulating.
+
+    Returns:
+        One :class:`SweepRow` per (model, P), in model-major order.
+    """
     nprocs_list = list(nprocs_list)
-    results: Dict[tuple, ProgramResult] = {}
-    for model in models:
-        for n in nprocs_list:
-            results[(model, n)] = run_app(app, model, n, workload, placement)
+    results: Dict[tuple, Any] = {}
+    if jobs > 1 or store is not None:
+        from repro.serving import Cell, run_cells
+
+        cells = [
+            Cell(app, model, n, workload, placement)
+            for model in models
+            for n in nprocs_list
+        ]
+        for cr in run_cells(cells, store=store, jobs=jobs):
+            if cr.summary is None:
+                raise RuntimeError(
+                    f"sweep cell {cr.cell.label()} failed: {cr.error}"
+                )
+            results[(cr.cell.model, cr.cell.nprocs)] = cr.summary
+    else:
+        for model in models:
+            for n in nprocs_list:
+                results[(model, n)] = run_app(app, model, n, workload, placement)
     rows: List[SweepRow] = []
     for model in models:
         base_model = baseline_model or model

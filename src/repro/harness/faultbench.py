@@ -44,6 +44,8 @@ def run_fault_bench(
     workload: Any = None,
     placement: str = "first-touch",
     verify: bool = True,
+    store: Any = None,
+    jobs: int = 1,
 ) -> Dict[str, Any]:
     """Measure per-model recovery overhead; returns the BENCH_FAULTS record.
 
@@ -57,19 +59,42 @@ def run_fault_bench(
         placement: page-placement policy.
         verify: re-run every faulted configuration with the same seed
             and assert bit-identical elapsed time, counters and rank
-            results (determinism guard).
+            results (determinism guard).  Verification runs always
+            simulate — they deliberately bypass ``store``, otherwise a
+            warm store would verify a result against itself.
+        store: a :class:`repro.serving.ResultStore` serving the baseline
+            and faulted measurement runs (fault injection is seeded and
+            deterministic, so faulted cells cache like any others).
+        jobs: shard uncached measurement cells over worker processes.
 
     Returns:
         A JSON-ready record with one row per (model, nprocs): baseline
         and faulted elapsed ns, retries, added ns, overhead percent,
         goodput, and the per-run checksums.
     """
+    from repro.serving import Cell, run_cells
+
     prof = resolve_profile(profile, seed=seed)
+    nprocs_list = list(nprocs_list)
+    cells = [
+        Cell(app, model, n, workload, placement, faults=faults)
+        for model in models
+        for n in nprocs_list
+        for faults in (None, prof)
+    ]
+    served = run_cells(cells, store=store, jobs=jobs)
+    failed = [r for r in served if r.summary is None]
+    if failed:
+        raise RuntimeError(
+            f"fault bench: {len(failed)} cell(s) failed, first: "
+            f"{failed[0].cell.label()}: {failed[0].error}"
+        )
+    pairs = iter(served)
     rows = []
     for model in models:
         for n in nprocs_list:
-            base = run_app(app, model, n, workload, placement)
-            faulted = run_app(app, model, n, workload, placement, faults=prof)
+            base = next(pairs).summary
+            faulted = next(pairs).summary
             if verify:
                 again = run_app(app, model, n, workload, placement, faults=prof)
                 if again.elapsed_ns != faulted.elapsed_ns:

@@ -130,6 +130,8 @@ def run_net_microbench(
     sweep_models: Sequence[str] = ("mpi", "shmem", "sas"),
     include_sweep: bool = True,
     profile: bool = True,
+    store: Any = None,
+    jobs: int = 1,
 ) -> Dict[str, Any]:
     """Benchmark the batched network/MPI fast paths; returns the record.
 
@@ -137,6 +139,11 @@ def run_net_microbench(
     on, then both forced off — and the simulated timelines are asserted
     bit-identical (elapsed nanoseconds *and* the full statistics summary)
     before the host-time speedup is computed.
+
+    ``store`` / ``jobs`` apply only to the completion-sweep rows: the
+    on/off timing arms *are* the measurement, so they always run live in
+    this process.  A served sweep row reports the host seconds of the
+    store lookup, not of a simulation it never ran.
     """
     pairs = _halo_pairs(nprocs)
     result_on, host_on, machine_on = _one_run(nprocs, pairs, flood, sweeps, "on")
@@ -182,33 +189,42 @@ def run_net_microbench(
     if profile:
         record["profile"] = _profile_sections(nprocs, pairs, flood)
     if include_sweep:
-        record["sweep"] = _sweep_rows(sweep_procs, sweep_models)
+        record["sweep"] = _sweep_rows(sweep_procs, sweep_models, store=store, jobs=jobs)
     return record
 
 
-def _sweep_rows(procs: Sequence[int], models: Sequence[str]) -> List[Dict[str, Any]]:
+def _sweep_rows(
+    procs: Sequence[int],
+    models: Sequence[str],
+    store: Any = None,
+    jobs: int = 1,
+) -> List[Dict[str, Any]]:
     """One small-adapt run per (model, P): completion proof for the record."""
     from repro.apps.adapt import AdaptConfig
-    from repro.harness.experiment import run_app
+    from repro.serving import Cell, run_cells
 
     wl = AdaptConfig(mesh_n=8, phases=3, solver_iters=6)
+    cells = [Cell("adapt", model, int(p), wl) for p in procs for model in models]
+    served = run_cells(cells, store=store, jobs=jobs)
+    schemes = {
+        int(p): Machine(MachineConfig(nprocs=int(p))).directory.sharer_scheme.describe()
+        for p in procs
+    }
     rows: List[Dict[str, Any]] = []
-    for p in procs:
-        scheme = Machine(MachineConfig(nprocs=int(p))).directory.sharer_scheme.describe()
-        for model in models:
-            t0 = time.perf_counter()
-            res = run_app("adapt", model, int(p), wl)
-            rows.append(
-                {
-                    "app": "adapt",
-                    "model": model,
-                    "nprocs": int(p),
-                    "elapsed_ms": res.elapsed_ms,
-                    "host_seconds": time.perf_counter() - t0,
-                    "sharer_scheme": scheme,
-                    "completed": True,
-                }
-            )
+    for cr in served:
+        if cr.summary is None:
+            raise RuntimeError(f"sweep cell {cr.cell.label()} failed: {cr.error}")
+        rows.append(
+            {
+                "app": "adapt",
+                "model": cr.cell.model,
+                "nprocs": cr.cell.nprocs,
+                "elapsed_ms": cr.summary.elapsed_ms,
+                "host_seconds": cr.host_seconds,
+                "sharer_scheme": schemes[cr.cell.nprocs],
+                "completed": True,
+            }
+        )
     return rows
 
 

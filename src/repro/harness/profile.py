@@ -77,6 +77,7 @@ def run_sas_microbench(
     elements: int = 40_000,
     sweeps: int = 3,
     compare: bool = True,
+    store: Any = None,
 ) -> Dict[str, Any]:
     """Benchmark the SAS memory pipeline; returns the BENCH_SAS record.
 
@@ -85,6 +86,14 @@ def run_sas_microbench(
     before any speedup is reported, so the number can never come from a
     model change masquerading as an optimisation.  Default sizing touches
     well over 10^5 cache lines.
+
+    ``store`` does not serve this bench (it *is* a host-time
+    measurement); it keeps a fingerprint golden instead.  The first run
+    under a given signature stores the simulated nanoseconds, line
+    count and full statistics summary; every later run with the same
+    signature is asserted identical — a cross-process, cross-day drift
+    detector.  The record gains ``store_verified`` when the comparison
+    happened.
     """
     result_on, host_on, lines_on = _one_run(nprocs, elements, sweeps, "on")
     record: Dict[str, Any] = {
@@ -118,7 +127,50 @@ def run_sas_microbench(
         }
         record["speedup"] = host_off / host_on if host_on > 0 else float("inf")
         record["identical_simulated_ns"] = True
+    if store is not None:
+        record["store_verified"] = _store_fingerprint(
+            store, nprocs, elements, sweeps, result_on, int(lines_on)
+        )
     return record
+
+
+def _store_fingerprint(
+    store: Any, nprocs: int, elements: int, sweeps: int, result, lines: int
+) -> bool:
+    """Golden-check this run against the store's fingerprint entry.
+
+    Returns ``True`` when a previous fingerprint existed and matched
+    (``AssertionError`` when it existed and did not), ``False`` when this
+    run seeded the fingerprint.
+    """
+    import repro
+    from repro.serving import cache_key
+    from repro.serving.store import STORE_SCHEMA
+
+    sig = {
+        "schema": STORE_SCHEMA,
+        "engine": repro.__version__,
+        "bench": "sas-line-touch",
+        "nprocs": nprocs,
+        "elements": elements,
+        "sweeps": sweeps,
+    }
+    fingerprint = {
+        "simulated_ns": result.elapsed_ns,
+        "lines_touched": lines,
+        "stats": {k: float(v) for k, v in result.stats.summary().items()},
+    }
+    key = cache_key(sig)
+    stored = store.get(key)
+    if stored is None:
+        store.put(key, sig, fingerprint, identity=f"sas-line-touch/P{nprocs}")
+        return False
+    if stored != json.loads(json.dumps(fingerprint)):
+        raise AssertionError(
+            "sas microbench drifted from its stored fingerprint: "
+            f"stored {stored} vs current {fingerprint}"
+        )
+    return True
 
 
 def write_bench_json(record: Dict[str, Any], path: Optional[str] = None) -> str:

@@ -1,0 +1,554 @@
+"""Content-addressed on-disk result store: the serving layer's memory.
+
+Every simulated run is deterministic, so its result is a pure function
+of its *run signature* — app, model, P, workload content, placement,
+fault profile, derived machine switches, and the engine version.  The
+store canonicalises that signature to JSON (sorted keys, compact
+separators), takes the sha256, and files the run's summary under that
+key: two processes that build the same signature always read and write
+the same object, and any change to any signature field lands on a
+different key, which is the whole invalidation story (see
+:mod:`repro.serving.invalidate`).
+
+Layout on disk::
+
+    <root>/v1/objects/<key[:2]>/<key>.json
+
+``<root>`` defaults to ``$REPRO_CACHE_DIR`` or ``./.repro-cache``.
+Writes are atomic (temp file + ``os.replace``), so concurrent sweep
+workers and concurrent processes can share one store without locking —
+last writer wins with an identical object.  ``python -m repro cache
+stats|gc|verify`` administers the store from the command line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+import repro
+
+__all__ = [
+    "STORE_SCHEMA",
+    "ResultStore",
+    "ResultSummary",
+    "SummaryStats",
+    "cache_key",
+    "canonical_json",
+    "default_cache_dir",
+    "resolve_workload",
+    "run_identity",
+    "run_signature",
+    "summarize_result",
+    "summary_from_payload",
+]
+
+#: bump when the record layout changes; old objects simply never hit
+STORE_SCHEMA = 1
+
+#: per-CPU counters a stored summary totals (everything R-T2 tabulates)
+COUNTER_ATTRS = (
+    "msgs_sent", "bytes_sent", "puts", "put_bytes", "gets", "get_bytes",
+    "atomics", "loads", "stores", "l2_hits", "local_misses",
+    "remote_misses", "dirty_misses", "invalidations_sent", "lines_touched",
+)
+
+#: machine-global counters carried alongside the per-CPU totals
+GLOBAL_ATTRS = (
+    "network_bytes", "network_messages", "directory_transactions",
+    "writebacks_charged",
+)
+
+
+def default_cache_dir() -> Path:
+    """The store root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR") or ".repro-cache")
+
+
+# -- canonical signatures -----------------------------------------------------
+
+
+def _plain(value: Any) -> Any:
+    """A JSON-safe canonical form of ``value`` (recursive, order-free)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: _plain(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__type__": type(value).__name__, **fields}
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    return repr(value)
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON text: sorted keys, compact separators."""
+    return json.dumps(_plain(obj), sort_keys=True, separators=(",", ":"))
+
+
+def resolve_workload(app: str, workload: Any) -> Any:
+    """Resolve a workload argument to its value object.
+
+    For the ``"scenario"`` app a string/path workload is loaded into a
+    :class:`repro.workloads.synth.ScenarioSpec` so the signature can use
+    its content hash; every other workload passes through unchanged.
+    """
+    if app == "scenario" and workload is not None \
+            and not hasattr(workload, "content_hash"):
+        from repro.workloads.synth import load_spec
+
+        return load_spec(workload)
+    return workload
+
+
+def _workload_signature(workload: Any) -> Dict[str, Any]:
+    """The signature component describing the workload *content*."""
+    if workload is None:
+        return {"kind": "default"}
+    if hasattr(workload, "content_hash"):  # ScenarioSpec (or compatible)
+        return {"kind": "scenario", "content_hash": workload.content_hash()}
+    if dataclasses.is_dataclass(workload) and not isinstance(workload, type):
+        return {
+            "kind": "config",
+            "type": type(workload).__name__,
+            "fields": _plain(workload),
+        }
+    return {"kind": "opaque", "repr": repr(workload)}
+
+
+def _faults_signature(faults: Any) -> Optional[str]:
+    """Canonical fault component: the resolved profile's repr, or None."""
+    if faults is None:
+        return None
+    if isinstance(faults, str):
+        from repro.faults import resolve_profile
+
+        faults = resolve_profile(faults)
+    return repr(faults)
+
+
+def run_signature(
+    app: str,
+    model: str,
+    nprocs: int,
+    workload: Any = None,
+    placement: str = "first-touch",
+    faults: Any = None,
+    derived: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The full canonical signature of one run.
+
+    Covers everything that can change a simulated result: the workload
+    content (a scenario's sha256 content hash, a config dataclass's full
+    field set), the machine shape (``nprocs``, ``placement``,
+    ``derived`` switches), the fault profile, and a version salt
+    (``repro.__version__`` + the store schema) so a new engine never
+    serves results computed by an old one.
+
+    Returns:
+        A JSON-safe dict; hash it with :func:`cache_key`.
+    """
+    return {
+        "schema": STORE_SCHEMA,
+        "engine": repro.__version__,
+        "app": app,
+        "model": model,
+        "nprocs": int(nprocs),
+        "workload": _workload_signature(resolve_workload(app, workload)),
+        "placement": str(placement),
+        "faults": _faults_signature(faults),
+        "derived": _plain(dict(derived)) if derived else None,
+    }
+
+
+def cache_key(signature: Dict[str, Any]) -> str:
+    """sha256 hex digest of the canonical JSON of ``signature``."""
+    return hashlib.sha256(canonical_json(signature).encode()).hexdigest()
+
+
+def run_identity(
+    app: str,
+    model: str,
+    nprocs: int,
+    workload: Any = None,
+    placement: str = "first-touch",
+    faults: Any = None,
+) -> str:
+    """The human grouping key of a run: *which cell*, not *which content*.
+
+    Two signatures with the same identity but different keys are the
+    same sweep cell computed from different content — i.e. the old one
+    is *stale*.  The workload contributes its name (scenario specs) or
+    its type (config dataclasses), never its content.
+    """
+    workload = resolve_workload(app, workload)
+    if workload is None:
+        wl = "default"
+    elif hasattr(workload, "content_hash"):
+        wl = getattr(workload, "name", None) or "scenario"
+    else:
+        wl = type(workload).__name__
+    if faults is None:
+        fl = "none"
+    elif isinstance(faults, str):
+        fl = faults
+    else:
+        fl = getattr(faults, "name", None) or "profile"
+    return f"{app}/{wl}/{model}/P{int(nprocs)}/{placement}/{fl}"
+
+
+# -- result summaries ---------------------------------------------------------
+
+
+class SummaryStats:
+    """A stored stand-in for :class:`repro.machine.stats.MachineStats`.
+
+    Exposes the aggregate surface the harness reads from a result —
+    ``total(attr)``, ``breakdown_totals()``, ``summary()`` and the
+    machine-global counters — backed by the totals persisted in the
+    store rather than live per-CPU objects.
+    """
+
+    def __init__(self, counters: Dict[str, float], breakdown: Dict[str, float]):
+        self._counters = dict(counters)
+        self._breakdown = dict(breakdown)
+
+    def total(self, attr: str) -> float:
+        """Machine-wide total of a per-CPU counter (0 if not stored)."""
+        return self._counters.get(attr, 0)
+
+    def breakdown_totals(self) -> Dict[str, float]:
+        """Summed compute/comm/sync/stall simulated nanoseconds."""
+        return dict(self._breakdown)
+
+    def summary(self) -> Dict[str, float]:
+        """The full stored counter dict (per-CPU totals + globals)."""
+        return dict(self._counters)
+
+    @property
+    def network_bytes(self) -> float:
+        return self._counters.get("network_bytes", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SummaryStats {len(self._counters)} counters>"
+
+
+@dataclass
+class ResultSummary:
+    """What the store keeps of a :class:`repro.models.base.ProgramResult`.
+
+    Everything a sweep consumer reads — elapsed time, per-rank results,
+    phase times, fault counters, and aggregate machine statistics — in a
+    JSON-round-trippable shape.  Simulated times are exact: floats
+    survive JSON bit-for-bit, so a served sweep row is bit-identical to
+    a computed one.
+    """
+
+    model: str
+    nprocs: int
+    elapsed_ns: float
+    rank_results: List[Any]
+    phase_ns: Dict[str, float] = field(default_factory=dict)
+    fault_summary: Optional[Dict[str, Any]] = None
+    counters: Dict[str, float] = field(default_factory=dict)
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    cached: bool = False
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_ns / 1e6
+
+    @property
+    def stats(self) -> SummaryStats:
+        """Aggregate statistics with the ``MachineStats`` read surface."""
+        return SummaryStats(self.counters, self.breakdown)
+
+    @property
+    def events(self) -> None:
+        """Stored summaries never carry an event stream."""
+        return None
+
+
+def summarize_result(result: Any) -> Dict[str, Any]:
+    """Reduce a :class:`ProgramResult` to the JSON-safe stored payload."""
+    stats = result.stats
+    counters: Dict[str, float] = {a: stats.total(a) for a in COUNTER_ATTRS}
+    for a in GLOBAL_ATTRS:
+        counters[a] = getattr(stats, a, 0)
+    return {
+        "model": result.model,
+        "nprocs": result.nprocs,
+        "elapsed_ns": result.elapsed_ns,
+        "rank_results": list(result.rank_results),
+        "phase_ns": dict(result.phase_ns),
+        "fault_summary": result.fault_summary,
+        "counters": counters,
+        "breakdown": stats.breakdown_totals(),
+    }
+
+
+def summary_from_payload(payload: Dict[str, Any]) -> ResultSummary:
+    """Rehydrate a stored payload into a :class:`ResultSummary`."""
+    return ResultSummary(
+        model=payload["model"],
+        nprocs=int(payload["nprocs"]),
+        elapsed_ns=payload["elapsed_ns"],
+        rank_results=payload["rank_results"],
+        phase_ns=payload.get("phase_ns") or {},
+        fault_summary=payload.get("fault_summary"),
+        counters=payload.get("counters") or {},
+        breakdown=payload.get("breakdown") or {},
+        cached=True,
+    )
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class ResultStore:
+    """Content-addressed result store with per-session serving counters.
+
+    Thread- and process-safe by construction: keys are content hashes,
+    writes are atomic renames, and readers only ever see complete
+    objects.  The instance counts its own session's ``hits`` /
+    ``misses`` / ``puts`` so a bench can report its serving ratio.
+
+    Args:
+        root: store directory; default :func:`default_cache_dir`.
+    """
+
+    def __init__(self, root: Union[None, str, Path] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.read_errors = 0
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / f"v{STORE_SCHEMA}" / "objects"
+
+    def path_for(self, key: str) -> Path:
+        """Where the object for ``key`` lives (whether or not it exists)."""
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- read / write ---------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Presence check that does not touch the session counters."""
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` on miss.
+
+        Unreadable or corrupt objects count as misses (and bump
+        ``read_errors``) — the serving layer recomputes and overwrites
+        them rather than failing a sweep.
+        """
+        path = self.path_for(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            if path.exists():
+                self.read_errors += 1
+            self.misses += 1
+            return None
+        if record.get("key") != key or "payload" not in record:
+            self.read_errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["payload"]
+
+    def put(
+        self,
+        key: str,
+        signature: Dict[str, Any],
+        payload: Dict[str, Any],
+        identity: Optional[str] = None,
+    ) -> Optional[Path]:
+        """Atomically store ``payload`` under ``key``.
+
+        Args:
+            key: :func:`cache_key` of ``signature``.
+            signature: the full canonical signature (stored alongside the
+                payload so ``cache verify`` can re-derive the key).
+            payload: JSON-serialisable result summary.
+            identity: optional grouping label (see :func:`run_identity`)
+                used by incremental invalidation to find stale entries.
+
+        Returns:
+            The object path, or ``None`` when the payload is not
+            JSON-serialisable (the run simply is not cached).
+        """
+        record = {
+            "schema": STORE_SCHEMA,
+            "key": key,
+            "identity": identity,
+            "signature": _plain(signature),
+            "payload": payload,
+        }
+        try:
+            text = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError):
+            return None
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(text + "\n")
+        os.replace(tmp, path)
+        self.puts += 1
+        return path
+
+    def delete(self, key: str) -> bool:
+        """Remove the object for ``key``; True if something was removed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def entries(self) -> Iterator[Tuple[Path, Optional[Dict[str, Any]]]]:
+        """Iterate ``(path, record)`` over every object (record None if
+        unreadable), in sorted path order for deterministic reports."""
+        if not self.objects_dir.is_dir():
+            return
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            try:
+                yield path, json.loads(path.read_text())
+            except (OSError, ValueError):
+                yield path, None
+
+    # -- administration -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Store-wide inventory: entry count, bytes, apps, engine salts."""
+        count = 0
+        nbytes = 0
+        apps: Dict[str, int] = {}
+        engines: Dict[str, int] = {}
+        unreadable = 0
+        for path, record in self.entries():
+            count += 1
+            try:
+                nbytes += path.stat().st_size
+            except OSError:
+                pass
+            if record is None:
+                unreadable += 1
+                continue
+            sig = record.get("signature") or {}
+            apps[sig.get("app", "?")] = apps.get(sig.get("app", "?"), 0) + 1
+            eng = str(sig.get("engine", "?"))
+            engines[eng] = engines.get(eng, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": count,
+            "bytes": nbytes,
+            "unreadable": unreadable,
+            "by_app": apps,
+            "by_engine": engines,
+        }
+
+    def verify(self) -> List[str]:
+        """Re-derive every object's key from its stored signature.
+
+        Returns one problem string per unreadable, mislabelled, or
+        content-drifted object; an empty list means the store is sound.
+        """
+        problems: List[str] = []
+        for path, record in self.entries():
+            if record is None:
+                problems.append(f"{path.name}: unreadable JSON")
+                continue
+            key = record.get("key")
+            if path.stem != key:
+                problems.append(f"{path.name}: filed under the wrong key")
+                continue
+            sig = record.get("signature")
+            if sig is None or "payload" not in record:
+                problems.append(f"{path.name}: missing signature or payload")
+                continue
+            if cache_key(sig) != key:
+                problems.append(
+                    f"{path.name}: signature hashes to {cache_key(sig)[:12]}…, "
+                    f"not its key"
+                )
+        return problems
+
+    def gc(
+        self,
+        older_than_days: Optional[float] = None,
+        outdated: bool = False,
+        everything: bool = False,
+        corrupt: bool = False,
+    ) -> int:
+        """Remove objects; returns how many were deleted.
+
+        Args:
+            older_than_days: drop objects whose mtime is older than this.
+            outdated: drop objects whose engine-version salt differs from
+                the running ``repro.__version__`` (they can never hit).
+            everything: drop all objects.
+            corrupt: drop unreadable or key-mismatched objects.
+        """
+        removed = 0
+        cutoff = (
+            time.time() - older_than_days * 86400.0
+            if older_than_days is not None else None
+        )
+        for path, record in self.entries():
+            drop = everything
+            if not drop and cutoff is not None:
+                try:
+                    drop = path.stat().st_mtime < cutoff
+                except OSError:
+                    drop = True
+            if not drop and corrupt:
+                drop = record is None or record.get("key") != path.stem
+            if not drop and outdated and record is not None:
+                sig = record.get("signature") or {}
+                drop = sig.get("engine") != repro.__version__
+            if drop:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    # -- session reporting ----------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of this session's lookups served from the store."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def report_line(self) -> str:
+        """One-line session summary for bench output."""
+        return (
+            f"serving: {self.hits}/{self.lookups} lookups from the store "
+            f"(hit rate {100.0 * self.hit_rate:.0f}%), "
+            f"{self.puts} stored, root {self.root}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultStore {self.root} hits={self.hits} misses={self.misses}>"

@@ -5,7 +5,7 @@ Run from the repository root (CI does)::
 
     python tools/check_docs.py
 
-Three passes over every tracked markdown file:
+Four passes over every tracked markdown file:
 
 1. **Relative links** (``[text](path)``) must point at files that exist
    (query strings stripped, ``http(s)``/``mailto`` links skipped).
@@ -15,12 +15,18 @@ Three passes over every tracked markdown file:
 3. **Python blocks in docs/ are executed** — every ```` ```python ````
    fence in ``docs/*.md`` runs in its own namespace with ``src/`` on the
    path, so the examples can never drift from the code.
+4. **CLI invocations are validated** — every ``python -m repro …`` line
+   in any code fence is checked against the real argument parser
+   (``repro.__main__.build_parser``): the subcommand must exist and
+   every ``--flag`` must be an option of that subcommand, so stale
+   command lines fail the docs build instead of misleading readers.
 
 Exit status is nonzero on any failure; findings are printed per file.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -37,6 +43,8 @@ EXEC_DIRS = ("docs",)
 _LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.M)
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.S)
+_ANY_FENCE_RE = re.compile(r"```[a-zA-Z]*\n(.*?)```", re.S)
+_CLI_RE = re.compile(r"python(?:3)?\s+-m\s+repro\s+(.+)")
 
 
 def github_slug(heading: str) -> str:
@@ -90,11 +98,89 @@ def run_blocks(path: Path) -> list:
     return problems
 
 
+def _command_map() -> dict:
+    """``{command: {"options": set, "sub": {...}}}`` from the real parser."""
+
+    def walk(parser: argparse.ArgumentParser) -> dict:
+        sub = next(
+            (a for a in parser._actions
+             if isinstance(a, argparse._SubParsersAction)),
+            None,
+        )
+        out: dict = {}
+        if sub is None:
+            return out
+        for name, p in sub.choices.items():
+            opts: set = set()
+            for action in p._actions:
+                opts.update(action.option_strings)
+            out[name] = {"options": opts, "sub": walk(p)}
+        return out
+
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        from repro.__main__ import build_parser
+
+        return walk(build_parser())
+    finally:
+        sys.path.remove(str(ROOT / "src"))
+
+
+def check_cli_lines(path: Path, commands: dict) -> list:
+    """Validate every ``python -m repro …`` line against the real parser.
+
+    Conservative on shell syntax: a command line is cut at the first
+    pipe/redirect/comment token, values are never interpreted, and only
+    dash-prefixed tokens are required to be real options of the (sub-)
+    command the line names.
+    """
+    import shlex
+
+    problems = []
+    for fence in _ANY_FENCE_RE.findall(path.read_text()):
+        for line in fence.splitlines():
+            m = _CLI_RE.search(line)
+            if m is None:
+                continue
+            rest = re.split(r"\s(?:&&|\|\|?|;|#|>|2>)\s?", m.group(1))[0]
+            try:
+                tokens = shlex.split(rest)
+            except ValueError:
+                continue
+            if not tokens:
+                continue
+            cmd, tokens = tokens[0], tokens[1:]
+            if cmd not in commands:
+                problems.append(
+                    f"stale CLI line: `repro {cmd}` is not a command "
+                    f"(line: {line.strip()!r})"
+                )
+                continue
+            node = commands[cmd]
+            allowed = set(node["options"])
+            label = cmd
+            for tok in tokens:
+                if tok.startswith("-") and not tok[1:2].isdigit():
+                    flag = tok.split("=")[0]
+                    if flag not in allowed:
+                        problems.append(
+                            f"stale CLI flag: `{flag}` is not an option of "
+                            f"`repro {label}` (line: {line.strip()!r})"
+                        )
+                elif tok in node["sub"]:  # descend into e.g. scenarios/cache
+                    node = node["sub"][tok]
+                    allowed |= node["options"]
+                    label = f"{label} {tok}"
+    return problems
+
+
 def main() -> int:
     failures = 0
+    commands = _command_map()
     for path in DOC_FILES:
         rel = path.relative_to(ROOT)
         problems = check_links(path)
+        problems += check_cli_lines(path, commands)
         if path.parent.name in EXEC_DIRS:
             problems += run_blocks(path)
         for p in problems:
