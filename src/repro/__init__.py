@@ -24,7 +24,7 @@ from repro.machine import Machine, MachineConfig
 from repro.models import run_program
 from repro.harness import run_app, sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Machine",

@@ -12,7 +12,9 @@ Commands
 ``bench-engine`` host-time benchmark of the batched event-engine core
 ``bench-faults`` per-model fault-recovery overhead (retries, goodput)
 ``bench-scenarios`` model × P × scenario-class ranking-flip sweep
+``bench-profiles`` model × P × hardware-profile ranking-flip sweep
 ``scenarios`` generate / describe / list synthetic scenario specs
+``profiles``  list / describe the named hardware profiles
 ``serve``   serve a JSON sweep spec from the result store, incrementally
 ``cache``   administer the on-disk result store (stats / gc / verify)
 ``effort``  the programming-effort (LoC) table
@@ -26,6 +28,12 @@ with tracing on or off) and optionally exports them; ``--check-sync``
 runs the trace-based synchronization checker on the event stream.
 ``run --scenario SPEC`` runs a generated scenario (a ``*.scenario.json``
 path or a scenario class name) under any model, including ``hybrid``.
+
+Hardware profiles (see ``docs/machines.md``): ``run``, ``sweep``,
+``micro``, ``describe``, and ``bench-faults`` accept ``--machine-profile
+NAME`` to run on a different machine (``repro profiles list``);
+``bench-profiles`` sweeps all of them.  ``run --link-stats`` additionally
+collects per-link contention counters and prints the hottest links.
 
 Serving (see ``docs/serving.md``): the sweep-shaped commands (``sweep``,
 ``bench-faults``, ``bench-scenarios``, ``serve``) consult the
@@ -254,14 +262,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.faults import resolve_profile
 
         faults = resolve_profile(args.faults, seed=args.fault_seed)
-    derived = {"engine_batch": args.engine_batch} if args.engine_batch else None
+    derived = {}
+    if args.engine_batch:
+        derived["engine_batch"] = args.engine_batch
+    if args.link_stats:
+        derived["link_stats"] = "on"
     store = _store_from_args(args, default_on=False)
     result = run_app(
         app, model, args.nprocs, wl, placement=args.placement, trace=traced,
-        faults=faults, derived=derived, store=store,
+        faults=faults, derived=derived or None, store=store,
+        machine_profile=args.machine_profile,
     )
     agg = aggregate_breakdown(result)
     what = f"scenario {wl.name}" if app == "scenario" else f"{args.size} workload"
+    if args.machine_profile:
+        what += f", profile {args.machine_profile}"
     print(f"{app} under {model} on {args.nprocs} CPUs ({what})")
     print(f"  simulated time : {result.elapsed_ms:.3f} ms")
     print(f"  checksum       : {result.rank_results[0]}")
@@ -291,6 +306,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             _export_trace(events, args.trace, args.nprocs)
         if args.check_sync:
             rc = _print_sync_check(events, args.nprocs)
+    if args.link_stats:
+        from repro.obs import format_link_contention
+
+        links = getattr(getattr(result, "stats", None), "links", [])
+        print()
+        print("per-link contention (hottest first):")
+        print(format_link_contention(links))
     if args.profile:
         from repro.harness.profile import PROFILER
 
@@ -535,6 +557,7 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
         verify=not args.no_verify,
         store=store,
         jobs=args.jobs,
+        machine_profile=args.machine_profile,
     )
     print(format_fault_bench(record))
     _print_store_report(store)
@@ -691,19 +714,74 @@ def cmd_bench_scenarios(args: argparse.Namespace) -> int:
     return _check_hit_rate(store, args.min_hit_rate)
 
 
+def cmd_bench_profiles(args: argparse.Namespace) -> int:
+    from repro.harness.profilebench import (
+        format_profile_bench,
+        run_profile_bench,
+        write_profile_bench_json,
+    )
+
+    store = _store_from_args(args, default_on=True)
+    record = run_profile_bench(
+        profiles=tuple(args.profiles.split(",")),
+        models=tuple(args.models.split(",")),
+        nprocs_list=_check_procs_list(args.procs),
+        scenario_class=args.scenario_class,
+        intensity=args.intensity,
+        seed=args.seed,
+        mesh_n=args.mesh_n,
+        phases=args.phases,
+        solver_iters=args.solver_iters,
+        placement=args.placement,
+        store=store,
+        jobs=args.jobs,
+    )
+    print(format_profile_bench(record))
+    _print_store_report(store)
+    path = write_profile_bench_json(record, args.output)
+    print(f"  wrote {path}")
+    if args.require_flip and not record["best_flips"]:
+        print(
+            "ERROR: no hardware profile changed the best model — the "
+            "cross-hardware flip report is empty (add profiles or widen P)",
+            file=sys.stderr,
+        )
+        return 1
+    return _check_hit_rate(store, args.min_hit_rate)
+
+
+def cmd_profiles_list(args: argparse.Namespace) -> int:
+    from repro.machine.profiles import PROFILES
+
+    print("hardware profiles (use with --machine-profile / bench-profiles):")
+    for name, prof in sorted(PROFILES.items()):
+        print(f"  {name:<18} {len(prof.overrides):>2} overrides  {prof.description}")
+    return 0
+
+
+def cmd_profiles_describe(args: argparse.Namespace) -> int:
+    from repro.machine.profiles import resolve_machine_profile
+
+    print(resolve_machine_profile(args.name).describe())
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     wl = _workload(args.app, args.size)
     plist = _check_procs_list(args.procs)
     store = _store_from_args(args, default_on=True)
     rows = sweep(
         args.app, models=args.models.split(","), nprocs_list=plist, workload=wl,
-        store=store, jobs=args.jobs,
+        store=store, jobs=args.jobs, machine_profile=args.machine_profile,
     )
+    title = f"{args.app} ({args.size}) sweep"
+    if args.machine_profile:
+        title += f" on {args.machine_profile}"
     print(
         format_table(
             ["model", "P", "time_ms", "speedup", "efficiency"],
             [[r.model, r.nprocs, r.elapsed_ms, r.speedup, r.efficiency] for r in rows],
-            title=f"{args.app} ({args.size}) sweep",
+            title=title,
         )
     )
     series: dict = {}
@@ -717,7 +795,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_micro(args: argparse.Namespace) -> int:
     _check_nprocs(args.nprocs)
-    machine = Machine(MachineConfig(nprocs=args.nprocs))
+    machine = Machine(MachineConfig(nprocs=args.nprocs),
+                      profile=args.machine_profile)
     d = machine.directory
     # use lines in distinct pages so first-touch homes them independently
     lines = [0, 200, 400, 600]
@@ -877,6 +956,8 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
         print(f"  app {app:<16} {count} entries")
     for eng, count in sorted(st["by_engine"].items()):
         print(f"  engine {eng:<13} {count} entries")
+    for prof, count in sorted(st["by_profile"].items()):
+        print(f"  profile {prof:<12} {count} entries")
     return 0
 
 
@@ -916,7 +997,8 @@ def cmd_cache_gc(args: argparse.Namespace) -> int:
 
 def cmd_describe(args: argparse.Namespace) -> int:
     _check_nprocs(args.nprocs)
-    machine = Machine(MachineConfig(nprocs=args.nprocs))
+    machine = Machine(MachineConfig(nprocs=args.nprocs),
+                      profile=args.machine_profile)
     print(machine.describe())
     cfg = machine.config
     print(f"  clock {cfg.clock_mhz:.0f} MHz, L2 {cfg.l2_bytes // 1024} KiB, "
@@ -955,6 +1037,11 @@ def build_parser() -> argparse.ArgumentParser:
         if jobs:
             p.add_argument("-j", "--jobs", type=int, default=1,
                            help="shard uncached cells over N worker processes")
+
+    def _add_machine_profile(p):
+        p.add_argument("--machine-profile", default=None, metavar="NAME",
+                       help="run on a named hardware profile "
+                            "(see `repro profiles list`; default: Origin2000)")
 
     def _add_app_model(p, need_model=True):
         """app/model as positionals or flags (``run adapt mpi`` == ``run --app adapt --model mpi``)."""
@@ -999,6 +1086,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="force the batched event engine on or off "
                         "(off restores the scalar one-event-at-a-time loop; "
                         "simulated time is bit-identical either way)")
+    p.add_argument("--link-stats", action="store_true",
+                   help="collect per-link contention counters and print the "
+                        "hottest links (simulated time is unchanged)")
+    _add_machine_profile(p)
     _add_serving(p, default_on=False, jobs=False)
     p.set_defaults(fn=cmd_run)
 
@@ -1024,11 +1115,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-p", "--procs", default="1,2,4,8")
     p.add_argument("-m", "--models", default="mpi,shmem,sas")
     p.add_argument("-s", "--size", choices=("small", "medium", "large"), default="small")
+    _add_machine_profile(p)
     _add_serving(p, default_on=True)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("micro", help="machine latency microbenchmarks")
     p.add_argument("-n", "--nprocs", type=int, default=16)
+    _add_machine_profile(p)
     p.set_defaults(fn=cmd_micro)
 
     p = sub.add_parser("bench-sas", help="host-time benchmark of the SAS memory pipeline")
@@ -1104,6 +1197,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the determinism double-run of each faulted config")
     p.add_argument("--require-retries", action="store_true",
                    help="fail unless every model at P>1 exercised recovery (CI)")
+    _add_machine_profile(p)
     _add_serving(p, default_on=True)
     p.set_defaults(fn=cmd_bench_faults)
 
@@ -1131,6 +1225,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "from the store (warm-cache CI gate)")
     _add_serving(p, default_on=True)
     p.set_defaults(fn=cmd_bench_scenarios)
+
+    p = sub.add_parser("bench-profiles",
+                       help="model x P x hardware-profile ranking-flip sweep")
+    p.add_argument("--profiles", default=",".join(
+        ("origin2000", "numa-epyc", "fat-tree-cluster", "dragonfly")),
+        help="comma-separated hardware profile names (`repro profiles list`)")
+    p.add_argument("-p", "--procs", default="2,8,32")
+    p.add_argument("-m", "--models", default="mpi,shmem,sas")
+    p.add_argument("--scenario-class", default="multi_front",
+                   help="the fixed scenario workload's class")
+    p.add_argument("--intensity", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=7,
+                   help="generator seed of the fixed scenario workload")
+    p.add_argument("--mesh-n", type=int, default=8)
+    p.add_argument("--phases", type=int, default=4)
+    p.add_argument("--solver-iters", type=int, default=6)
+    p.add_argument("--placement", default="first-touch")
+    p.add_argument("-o", "--output", default=None, help="BENCH_PROFILES.json path")
+    p.add_argument("--require-flip", action="store_true",
+                   help="fail unless some profile changes the best model (CI)")
+    p.add_argument("--min-hit-rate", type=float, default=0.0,
+                   help="fail unless this fraction of lookups is served "
+                        "from the store (warm-cache CI gate)")
+    _add_serving(p, default_on=True)
+    p.set_defaults(fn=cmd_bench_profiles)
+
+    p = sub.add_parser("profiles",
+                       help="list / describe the named hardware profiles")
+    psub = p.add_subparsers(dest="profiles_command", required=True)
+
+    q = psub.add_parser("list", help="list the registered hardware profiles")
+    q.set_defaults(fn=cmd_profiles_list)
+
+    q = psub.add_parser("describe",
+                        help="one profile's overrides vs the Origin2000 defaults")
+    q.add_argument("name", metavar="NAME",
+                   help="profile name (see `repro profiles list`)")
+    q.set_defaults(fn=cmd_profiles_describe)
 
     p = sub.add_parser("scenarios",
                        help="generate / describe / list synthetic scenario specs")
@@ -1216,6 +1348,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("describe", help="describe the simulated machine")
     p.add_argument("-n", "--nprocs", type=int, default=8)
+    _add_machine_profile(p)
     p.set_defaults(fn=cmd_describe)
 
     p = sub.add_parser("paper", help="regenerate every experiment (R-F*/R-T*)")

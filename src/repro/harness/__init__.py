@@ -3,6 +3,11 @@
 from repro.harness.experiment import APPS, run_app, sweep
 from repro.harness.breakdown import breakdown_rows, comm_stats_rows
 from repro.harness.faultbench import format_fault_bench, run_fault_bench, write_fault_bench_json
+from repro.harness.profilebench import (
+    format_profile_bench,
+    run_profile_bench,
+    write_profile_bench_json,
+)
 from repro.harness.scenariobench import (
     format_scenario_bench,
     run_scenario_bench,
@@ -22,6 +27,9 @@ __all__ = [
     "run_scenario_bench",
     "format_scenario_bench",
     "write_scenario_bench_json",
+    "run_profile_bench",
+    "format_profile_bench",
+    "write_profile_bench_json",
     "breakdown_rows",
     "comm_stats_rows",
     "format_table",

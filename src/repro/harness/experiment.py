@@ -77,14 +77,27 @@ class _ScriptCache(OrderedDict):
 _script_cache: Dict[Any, Any] = _ScriptCache()
 
 
-def _run_key(kind: str, cfg: Any, nprocs: int, placement: Any, faults: Any) -> tuple:
+def _run_key(
+    kind: str, cfg: Any, nprocs: int, placement: Any, faults: Any,
+    machine_profile: Any = None,
+) -> tuple:
     """Cache key covering everything that distinguishes one run setup.
 
     Fault profiles are folded in by ``repr`` (profiles are small frozen
     value objects; ``None`` stays ``None``) so an unhashable profile can
-    never poison the key, and distinct profiles never collide.
+    never poison the key, and distinct profiles never collide.  Hardware
+    profiles fold in by their signature — the registry name when the
+    overlay matches the registered entry, the full ``repr`` otherwise —
+    so two profiles differing in a single cost constant get distinct
+    entries.
     """
-    return (kind, cfg, nprocs, str(placement), None if faults is None else repr(faults))
+    from repro.machine.profiles import machine_profile_signature
+
+    return (
+        kind, cfg, nprocs, str(placement),
+        None if faults is None else repr(faults),
+        machine_profile_signature(machine_profile),
+    )
 
 
 def _program_for(app: str, programs: Dict[str, Any], model: str):
@@ -107,19 +120,19 @@ def _machine_config(nprocs: int, derived: Optional[Dict[str, Any]]):
     return MachineConfig(nprocs=nprocs, derived=dict(derived))
 
 
-def _adapt_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
+def _adapt_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None, machine_profile=None) -> ProgramResult:
     from repro.apps.adapt import ADAPT_PROGRAMS, AdaptConfig, build_script
 
     cfg = workload or AdaptConfig()
-    key = _run_key("adapt", cfg, nprocs, placement, faults)
+    key = _run_key("adapt", cfg, nprocs, placement, faults, machine_profile)
     script = _script_cache.get(key)
     if script is None:
         script = build_script(cfg, nprocs)
         _script_cache[key] = script
-    return run_program(model, _program_for("adapt", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
+    return run_program(model, _program_for("adapt", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived), profile=machine_profile)
 
 
-def _scenario_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
+def _scenario_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None, machine_profile=None) -> ProgramResult:
     """Run a generated scenario spec through the adapt machinery.
 
     ``workload`` is a :class:`repro.workloads.synth.ScenarioSpec` or a
@@ -136,41 +149,41 @@ def _scenario_runner(model, nprocs, workload, placement, trace=False, faults=Non
             "*.scenario.json (see `repro scenarios generate`)"
         )
     spec = workload if isinstance(workload, ScenarioSpec) else load_spec(workload)
-    key = _run_key("scenario", spec.content_hash(), nprocs, placement, faults)
+    key = _run_key("scenario", spec.content_hash(), nprocs, placement, faults, machine_profile)
     script = _script_cache.get(key)
     if script is None:
         from repro.apps.adapt import build_script
 
         script = build_script(spec_config(spec), nprocs)
         _script_cache[key] = script
-    return run_program(model, _program_for("scenario", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
+    return run_program(model, _program_for("scenario", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived), profile=machine_profile)
 
 
-def _nbody_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
+def _nbody_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None, machine_profile=None) -> ProgramResult:
     from repro.apps.nbody import NBODY_PROGRAMS, NBodyConfig
 
     cfg = workload or NBodyConfig()
-    return run_program(model, _program_for("nbody", NBODY_PROGRAMS, model), nprocs, cfg, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
+    return run_program(model, _program_for("nbody", NBODY_PROGRAMS, model), nprocs, cfg, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived), profile=machine_profile)
 
 
-def _jacobi_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
+def _jacobi_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None, machine_profile=None) -> ProgramResult:
     from repro.apps.jacobi import JACOBI_PROGRAMS, JacobiConfig
 
     cfg = workload or JacobiConfig()
-    return run_program(model, _program_for("jacobi", JACOBI_PROGRAMS, model), nprocs, cfg, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
+    return run_program(model, _program_for("jacobi", JACOBI_PROGRAMS, model), nprocs, cfg, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived), profile=machine_profile)
 
 
-def _adapt3d_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None) -> ProgramResult:
+def _adapt3d_runner(model, nprocs, workload, placement, trace=False, faults=None, derived=None, machine_profile=None) -> ProgramResult:
     from repro.apps.adapt import ADAPT_PROGRAMS
     from repro.apps.adapt3d import Adapt3DConfig, build_script3d
 
     cfg = workload or Adapt3DConfig()
-    key = _run_key("adapt3d", cfg, nprocs, placement, faults)
+    key = _run_key("adapt3d", cfg, nprocs, placement, faults, machine_profile)
     script = _script_cache.get(key)
     if script is None:
         script = build_script3d(cfg, nprocs)
         _script_cache[key] = script
-    return run_program(model, _program_for("adapt3d", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived))
+    return run_program(model, _program_for("adapt3d", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived), profile=machine_profile)
 
 
 APPS = {
@@ -192,6 +205,7 @@ def run_app(
     faults: Any = None,
     derived: Optional[Dict[str, Any]] = None,
     store: Any = None,
+    machine_profile: Any = None,
 ):
     """Run one (app, model, nprocs) configuration on a fresh machine.
 
@@ -224,6 +238,12 @@ def run_app(
             statistics) without simulating; a miss simulates, writes
             back, and returns the live result.  Traced runs always
             simulate (event streams are not stored).
+        machine_profile: hardware profile — a name from
+            :data:`repro.machine.profiles.PROFILES` (e.g.
+            ``"fat-tree-cluster"``), a
+            :class:`~repro.machine.profiles.MachineProfile`, or ``None``
+            for the Origin2000 default.  The profile is part of the run
+            signature, so stored results never alias across hardware.
 
     Returns:
         The :class:`ProgramResult` of the run, or — on a store hit — the
@@ -247,18 +267,24 @@ def run_app(
         )
 
         workload = resolve_workload(app, workload)
-        sig = run_signature(app, model, nprocs, workload, placement, faults, derived)
+        sig = run_signature(
+            app, model, nprocs, workload, placement, faults, derived,
+            machine_profile=machine_profile,
+        )
         key = cache_key(sig)
         payload = store.get(key)
         if payload is not None:
             return summary_from_payload(payload)
-        result = runner(model, nprocs, workload, placement, trace=trace, faults=faults, derived=derived)
+        result = runner(model, nprocs, workload, placement, trace=trace, faults=faults, derived=derived, machine_profile=machine_profile)
         store.put(
             key, sig, summarize_result(result),
-            identity=run_identity(app, model, nprocs, workload, placement, faults),
+            identity=run_identity(
+                app, model, nprocs, workload, placement, faults,
+                machine_profile=machine_profile,
+            ),
         )
         return result
-    return runner(model, nprocs, workload, placement, trace=trace, faults=faults, derived=derived)
+    return runner(model, nprocs, workload, placement, trace=trace, faults=faults, derived=derived, machine_profile=machine_profile)
 
 
 @dataclass(frozen=True)
@@ -282,6 +308,7 @@ def sweep(
     baseline_model: Optional[str] = None,
     jobs: int = 1,
     store: Any = None,
+    machine_profile: Any = None,
 ) -> List[SweepRow]:
     """Run the full cross product; speedups are vs each model's own P=1
     time (or vs ``baseline_model``'s P=1 time when given — the paper-style
@@ -295,6 +322,9 @@ def sweep(
             ``jobs=4`` produces bit-identical rows to ``jobs=1``).
         store: a :class:`repro.serving.ResultStore` — cells whose
             signature is already on disk are served without simulating.
+        machine_profile: hardware profile name or
+            :class:`~repro.machine.profiles.MachineProfile` for every
+            cell of the sweep (``None``: the Origin2000 default).
 
     Returns:
         One :class:`SweepRow` per (model, P), in model-major order.
@@ -305,7 +335,7 @@ def sweep(
         from repro.serving import Cell, run_cells
 
         cells = [
-            Cell(app, model, n, workload, placement)
+            Cell(app, model, n, workload, placement, machine_profile=machine_profile)
             for model in models
             for n in nprocs_list
         ]
@@ -318,7 +348,10 @@ def sweep(
     else:
         for model in models:
             for n in nprocs_list:
-                results[(model, n)] = run_app(app, model, n, workload, placement)
+                results[(model, n)] = run_app(
+                    app, model, n, workload, placement,
+                    machine_profile=machine_profile,
+                )
     rows: List[SweepRow] = []
     for model in models:
         base_model = baseline_model or model

@@ -46,6 +46,7 @@ def run_fault_bench(
     verify: bool = True,
     store: Any = None,
     jobs: int = 1,
+    machine_profile: Any = None,
 ) -> Dict[str, Any]:
     """Measure per-model recovery overhead; returns the BENCH_FAULTS record.
 
@@ -66,6 +67,9 @@ def run_fault_bench(
             and faulted measurement runs (fault injection is seeded and
             deterministic, so faulted cells cache like any others).
         jobs: shard uncached measurement cells over worker processes.
+        machine_profile: hardware profile name or
+            :class:`~repro.machine.profiles.MachineProfile` every row
+            runs on (``None``: the Origin2000 default).
 
     Returns:
         A JSON-ready record with one row per (model, nprocs): baseline
@@ -77,7 +81,8 @@ def run_fault_bench(
     prof = resolve_profile(profile, seed=seed)
     nprocs_list = list(nprocs_list)
     cells = [
-        Cell(app, model, n, workload, placement, faults=faults)
+        Cell(app, model, n, workload, placement, faults=faults,
+             machine_profile=machine_profile)
         for model in models
         for n in nprocs_list
         for faults in (None, prof)
@@ -96,7 +101,8 @@ def run_fault_bench(
             base = next(pairs).summary
             faulted = next(pairs).summary
             if verify:
-                again = run_app(app, model, n, workload, placement, faults=prof)
+                again = run_app(app, model, n, workload, placement, faults=prof,
+                                machine_profile=machine_profile)
                 if again.elapsed_ns != faulted.elapsed_ns:
                     raise AssertionError(
                         f"nondeterministic fault injection: {model} P={n} gave "

@@ -5,11 +5,33 @@ directory slice each) connected by a bristled fat hypercube of routers, as in
 the real Origin2000.  Three runtime layers (:mod:`repro.models.mpi`,
 :mod:`repro.models.shmem`, :mod:`repro.models.sas`) sit on top of this model
 and charge their costs through it.
+
+Named hardware profiles (:mod:`repro.machine.profiles`) overlay the
+Origin2000 cost constants — and optionally the interconnect topology — so
+the same experiments can be re-asked on modern machine shapes.
 """
 
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
-from repro.machine.stats import CpuStats, MachineStats
-from repro.machine.topology import Topology
+from repro.machine.profiles import (
+    PROFILES,
+    MachineProfile,
+    machine_profile_signature,
+    resolve_machine_profile,
+)
+from repro.machine.stats import CpuStats, LinkStats, MachineStats
+from repro.machine.topology import Topology, build_topology
 
-__all__ = ["Machine", "MachineConfig", "MachineStats", "CpuStats", "Topology"]
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "MachineStats",
+    "CpuStats",
+    "LinkStats",
+    "Topology",
+    "build_topology",
+    "MachineProfile",
+    "PROFILES",
+    "resolve_machine_profile",
+    "machine_profile_signature",
+]

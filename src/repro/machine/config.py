@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
-__all__ = ["MachineConfig"]
+__all__ = ["MachineConfig", "TOPOLOGY_KINDS"]
+
+#: interconnect structures the machine model can express — the hypercube is
+#: the Origin2000 calibration; the others exist for the hardware profiles in
+#: :mod:`repro.machine.profiles` (see docs/machines.md)
+TOPOLOGY_KINDS = ("hypercube", "fattree", "dragonfly")
 
 
 @dataclass(frozen=True)
@@ -29,6 +34,13 @@ class MachineConfig:
     nprocs: int = 8
     cpus_per_node: int = 2          # Origin2000 node card: 2× R10000 + hub
     nodes_per_router: int = 2       # "bristled" hypercube: 2 hubs per router
+    # interconnect structure (one of TOPOLOGY_KINDS): "hypercube" is the
+    # Origin2000 bristled fat hypercube; "fattree" models a commodity
+    # cluster through one core switch (uniform 2-hop remote latency);
+    # "dragonfly" groups routers all-to-all with one global link per
+    # ordered group pair (diameter <= 3, global hops pay deep_hop_extra_ns)
+    topology: str = "hypercube"
+    dragonfly_group: int = 4        # routers per dragonfly group
 
     # --- processor ------------------------------------------------------------
     clock_mhz: float = 250.0        # R10000 @ 250 MHz → 4 ns cycle
@@ -115,6 +127,14 @@ class MachineConfig:
             raise ValueError(f"deep_hop_extra_ns must be >= 0, got {self.deep_hop_extra_ns}")
         if self.dir_exact_width < 1:
             raise ValueError(f"dir_exact_width must be >= 1, got {self.dir_exact_width}")
+        if self.topology not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; choose from {TOPOLOGY_KINDS}"
+            )
+        if self.dragonfly_group < 2:
+            raise ValueError(
+                f"dragonfly_group must be >= 2, got {self.dragonfly_group}"
+            )
 
     @property
     def cycle_ns(self) -> float:

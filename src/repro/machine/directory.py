@@ -88,6 +88,11 @@ class Directory:
         self.faults = faults if faults is not None else FaultPlane()
         self._busy_until: List[float] = [0.0] * config.nnodes
         self._service_ns = config.line_bytes / config.mem_bandwidth_bpns
+        # per-link byte counters, shared with Network.link_bytes when
+        # derived["link_stats"] = "on" (Machine wires it); None otherwise.
+        # Coherence latency stays analytic — this only attributes the line
+        # bytes already counted in stats.network_bytes to route links.
+        self.link_bytes: Optional[List[int]] = None
         # how the hardware entry represents the sharer set (exact bit-vector
         # up to dir_exact_width CPUs, coarse/limited-pointer beyond); the
         # exact matrix below stays the protocol ground truth either way and
@@ -139,12 +144,20 @@ class Directory:
 
         return hook
 
+    def _charge_link_lines(self, src: int, dst: int, nlines: int = 1) -> None:
+        """Attribute ``nlines`` line transfers to the links of src -> dst."""
+        nbytes = self.config.line_bytes * nlines
+        for i in self.topology.route_info(src, dst).links:
+            self.link_bytes[i] += nbytes
+
     def _charge_writeback(self, victim_line: int, node: int) -> float:
         """Bill the drain of a dirty victim to its home memory."""
         home = self.memory.home_of_line(victim_line, self.config.line_bytes, node)
         self.stats.writebacks_charged += 1
         if home != node:
             self.stats.network_bytes += self.config.line_bytes
+            if self.link_bytes is not None:
+                self._charge_link_lines(node, home)
         return self._service_ns
 
     def flush_cache(self, cpu: int) -> int:
@@ -258,6 +271,8 @@ class Directory:
             self._sharers[line, cpu] = True
         if home != node:
             self.stats.network_bytes += cfg.line_bytes
+            if self.link_bytes is not None:
+                self._charge_link_lines(home, node)
         self.stats.directory_transactions += 1
         return latency, kind
 
@@ -444,6 +459,10 @@ class Directory:
                     wb_homes = self.memory.homes_of_lines(wb_lines, cfg.line_bytes, node)
                     self.stats.writebacks_charged += int(wb_lines.size)
                     self.stats.network_bytes += cfg.line_bytes * int((wb_homes != node).sum())
+                    if self.link_bytes is not None:
+                        for h, cnt in zip(*np.unique(
+                                wb_homes[wb_homes != node], return_counts=True)):
+                            self._charge_link_lines(node, int(h), int(cnt))
                     wb[np.searchsorted(fill_pos, evict_pos[ev_dirty])] = self._service_ns
             # dirty interventions (reads only): charge the 3-hop detour,
             # downgrade each owner's copy in one bulk call per owner
@@ -518,6 +537,10 @@ class Directory:
             nd_rem = int((isdirty & remote).sum())
             self.stats.directory_transactions += nf
             self.stats.network_bytes += cfg.line_bytes * nrem
+            if self.link_bytes is not None and nrem:
+                for h, cnt in zip(*np.unique(
+                        homes[remote], return_counts=True)):
+                    self._charge_link_lines(int(h), node, int(cnt))
             counts["dirty"] += nd
             counts["local"] += (nf - nrem) - (nd - nd_rem)
             counts["remote"] += nrem - nd_rem

@@ -17,8 +17,9 @@ from repro.machine.directory import Directory
 from repro.machine.memory import MemorySystem
 from repro.machine.network import Network
 from repro.machine.node import Node, build_nodes
+from repro.machine.profiles import MachineProfile, resolve_machine_profile
 from repro.machine.stats import MachineStats
-from repro.machine.topology import Topology
+from repro.machine.topology import build_topology
 from repro.obs.events import EventLog
 from repro.sim.engine import Engine, Process
 from repro.sim.trace import Tracer
@@ -41,6 +42,13 @@ class Machine:
             fault plane injects seeded link/directory faults and the model
             runtimes recover; when ``None`` the plane is disabled and every
             hot path pays a single boolean check.
+        profile: a hardware profile name from
+            :mod:`repro.machine.profiles`, a
+            :class:`~repro.machine.profiles.MachineProfile`, or ``None``
+            (default).  A profile overlays hardware constants (and
+            possibly the topology) on ``config`` before the machine is
+            built; ``nprocs`` and ``derived`` are preserved.
+            ``profile="origin2000"`` is bit-identical to ``None``.
 
     One instance is one simulation run: attach a model runtime from
     :mod:`repro.models`, :meth:`spawn_rank` one coroutine per simulated
@@ -53,12 +61,17 @@ class Machine:
         placement: str = "first-touch",
         trace: bool = False,
         faults: Union[None, str, FaultProfile] = None,
+        profile: Union[None, str, MachineProfile] = None,
     ):
-        self.config = config or MachineConfig()
+        self.profile = resolve_machine_profile(profile)
+        cfg = config or MachineConfig()
+        if self.profile is not None:
+            cfg = self.profile.apply(cfg)
+        self.config = cfg
         # derived["engine_batch"] = "off" restores the scalar reference loop
         # (same simulated timeline, more host time) — mirrors sas_batch/net_batch
         self.engine = Engine(batch=self.config.derived.get("engine_batch", "on") != "off")
-        self.topology = Topology(self.config)
+        self.topology = build_topology(self.config)
         self.stats = MachineStats.for_nprocs(self.config.nprocs)
         self.obs = EventLog()
         self.faults = FaultPlane(resolve_profile(faults))
@@ -79,6 +92,10 @@ class Machine:
             self.config, self.topology, self.memory, self.caches, self.stats,
             obs=self.obs, faults=self.faults,
         )
+        # when link stats are on, coherence line movements attribute their
+        # bytes to the same per-link counters as explicit transfers (the
+        # two share one list, so conservation holds machine-wide)
+        self.directory.link_bytes = self.network.link_bytes
         self.nodes: List[Node] = build_nodes(self.config)
         self.tracer = Tracer(enabled=trace)
         self._finish_ns: List[Optional[float]] = [None] * self.config.nprocs
@@ -112,6 +129,10 @@ class Machine:
         missing = [r for r, t in enumerate(self._finish_ns) if t is None and self._procs[r] is not None]
         if missing:  # pragma: no cover - engine.run would have raised Deadlock
             raise RuntimeError(f"ranks did not finish: {missing}")
+        if self.network.link_bytes is not None:
+            # snapshot per-link contention counters onto the stats object so
+            # harness/obs consumers see them without holding the machine
+            self.stats.links = self.network.link_stats()
         return self.elapsed_ns()
 
     def elapsed_ns(self) -> float:
@@ -130,4 +151,7 @@ class Machine:
         return [p.result if p is not None else None for p in self._procs]
 
     def describe(self) -> str:
-        return self.topology.describe() + f", placement={self.memory.policy}"
+        text = self.topology.describe() + f", placement={self.memory.policy}"
+        if self.profile is not None:
+            text += f", profile={self.profile.name}"
+        return text

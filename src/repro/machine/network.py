@@ -67,26 +67,35 @@ class Network:
         )
         self.batch_fast_transfers = 0  # transfers that took the fast path
         self.timer_fast_transfers = 0  # transfers completed by an engine timer
-        # per-route (resources, cube hops, static pipe ns) — the hot-path view
-        # of the routing table
-        self._route_cache: Dict[Tuple[int, int], Tuple[Tuple[Resource, ...], int, float]] = {}
+        # per-link byte counters, allocated only when link stats are on
+        # (derived["link_stats"] = "on") — the default pays nothing beyond
+        # one is-None check per transfer
+        self.link_bytes: Optional[List[int]] = (
+            [0] * len(topology.links)
+            if str(self.config.derived.get("link_stats", "off")).lower()
+            in ("on", "1", "true")
+            else None
+        )
+        # per-route (resources, router hops, static pipe ns, link indices) —
+        # the hot-path view of the routing table
+        self._route_cache: Dict[
+            Tuple[int, int], Tuple[Tuple[Resource, ...], int, float, Tuple[int, ...]]
+        ] = {}
 
     # -- cost helpers ---------------------------------------------------------
 
-    def _route_entry(self, src_node: int, dst_node: int) -> Tuple[Tuple[Resource, ...], int, float]:
+    def _route_entry(
+        self, src_node: int, dst_node: int
+    ) -> Tuple[Tuple[Resource, ...], int, float, Tuple[int, ...]]:
         key = (src_node, dst_node)
         entry = self._route_cache.get(key)
         if entry is None:
             info = self.topology.route_info(src_node, dst_node)
-            static_ns = (
-                2 * self.config.hub_ns
-                + info.hops * self.config.router_hop_ns
-                + info.deep_hops * self.config.deep_hop_extra_ns
-            )
             entry = (
                 tuple(self.link_resources[i] for i in info.links),
                 info.hops,
-                static_ns,
+                self.topology.route_static_ns(info),
+                info.links,
             )
             self._route_cache[key] = entry
         return entry
@@ -95,7 +104,7 @@ class Network:
         """Uncontended transfer time (used by analytic estimates and tests)."""
         if src_node == dst_node:
             return nbytes / self.config.intra_node_copy_bpns
-        _, _, static_ns = self._route_entry(src_node, dst_node)
+        _, _, static_ns, _ = self._route_entry(src_node, dst_node)
         return static_ns + nbytes / self.config.link_bandwidth_bpns
 
     # -- the transfer primitive ---------------------------------------------------
@@ -130,7 +139,10 @@ class Network:
                 )
             return True
         self.stats.network_bytes += nbytes
-        resources, hops, static_ns = self._route_entry(src_node, dst_node)
+        resources, hops, static_ns, link_idxs = self._route_entry(src_node, dst_node)
+        if self.link_bytes is not None:
+            for i in link_idxs:
+                self.link_bytes[i] += nbytes
         pipe_ns = static_ns + nbytes / self.config.link_bandwidth_bpns
         if (
             self.batch_enabled
@@ -174,6 +186,9 @@ class Network:
                 # the spurious copy follows back-to-back on the same route;
                 # the receiver filters it, but the links pay for it
                 self.stats.network_bytes += nbytes
+                if self.link_bytes is not None:
+                    for i in link_idxs:
+                        self.link_bytes[i] += nbytes
                 yield Delay(pipe_ns)
         finally:
             for res in reversed(held):
@@ -252,7 +267,7 @@ class Network:
                 (engine.now, src_node, dst_node, nbytes, on_delivered, arg),
             )
             return
-        resources, _hops, static_ns = self._route_entry(src_node, dst_node)
+        resources, _hops, static_ns, link_idxs = self._route_entry(src_node, dst_node)
         for r in resources:
             if r.in_use >= r.capacity or r._waiters:
                 # contended: run the caller's generator path from this very
@@ -262,6 +277,9 @@ class Network:
                 return
         self.stats.network_messages += 1
         self.stats.network_bytes += nbytes
+        if self.link_bytes is not None:
+            for i in link_idxs:
+                self.link_bytes[i] += nbytes
         self.batch_fast_transfers += 1
         self.timer_fast_transfers += 1
         for r in resources:
@@ -300,3 +318,41 @@ class Network:
         """Per-link utilisation over the run so far (diagnostics)."""
         horizon = max(self.engine.now, 1e-9)
         return [r.utilisation(horizon) for r in self.link_resources]
+
+    def link_stats(self) -> List["LinkStats"]:
+        """Per-link contention snapshot (requires ``derived["link_stats"]="on"``).
+
+        One :class:`~repro.machine.stats.LinkStats` per directed link, keyed
+        on the stable ``(kind, src, dst)`` link identity, covering the run so
+        far: bytes carried, claims, claim waits, queued ns, busy ns, and the
+        saturation fraction (busy time over elapsed time).  Raises
+        ``RuntimeError`` when link stats were not enabled — the counters
+        would silently read zero otherwise.
+        """
+        from repro.machine.stats import LinkStats
+
+        if self.link_bytes is None:
+            raise RuntimeError(
+                'per-link stats are off; enable with derived["link_stats"] = "on" '
+                "(CLI: run --link-stats)"
+            )
+        horizon = max(self.engine.now, 1e-9)
+        out: List[LinkStats] = []
+        for link, res, nbytes in zip(
+            self.topology.links, self.link_resources, self.link_bytes
+        ):
+            out.append(
+                LinkStats(
+                    kind=link.kind,
+                    src=link.src,
+                    dst=link.dst,
+                    dim=link.dim,
+                    bytes=nbytes,
+                    acquires=res.total_acquires,
+                    claim_waits=res.waited_acquires,
+                    queued_ns=res.total_wait_ns,
+                    busy_ns=res.busy_ns,
+                    saturation=res.utilisation(horizon),
+                )
+            )
+        return out

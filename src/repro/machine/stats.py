@@ -4,14 +4,18 @@ The paper-style evaluation needs, per processor: a time breakdown
 (compute / communication / synchronisation / memory stall), message counts
 and volumes (MPI & SHMEM), and memory-system counters (hits, local & remote
 misses, invalidations) for CC-SAS.
+
+Per-link contention counters (:class:`LinkStats`) are collected only when
+``derived["link_stats"] = "on"`` — ``MachineStats.links`` stays ``[]``
+otherwise, so existing benches pay nothing for the feature.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
-__all__ = ["CpuStats", "MachineStats", "TIME_CATEGORIES"]
+__all__ = ["CpuStats", "LinkStats", "MachineStats", "TIME_CATEGORIES"]
 
 TIME_CATEGORIES = ("compute", "comm", "sync", "stall")
 
@@ -74,6 +78,37 @@ class CpuStats:
 
 
 @dataclass
+class LinkStats:
+    """Contention counters for one directed interconnect link.
+
+    The stable identity is ``(kind, src, dst)`` — kinds come from
+    :class:`repro.machine.topology.Link` (``hub-out``/``hub-in``/``cube``
+    for the hypercube, ``up``/``down`` for the fat tree,
+    ``local0``/``global``/``local1`` for the dragonfly); ``src``/``dst``
+    are node ids for hub/up/down links and router ids otherwise.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    dim: int = -1             # hypercube dimension, -1 for non-cube links
+    bytes: int = 0            # payload bytes carried (duplicated copies count)
+    acquires: int = 0         # transfers that claimed this link
+    claim_waits: int = 0      # acquires that found the link busy and queued
+    queued_ns: float = 0.0    # total simulated time spent queued for the link
+    busy_ns: float = 0.0      # integrated in-use time
+    saturation: float = 0.0   # busy_ns / elapsed_ns at snapshot time
+
+    @property
+    def ident(self) -> Tuple[str, int, int]:
+        return (self.kind, self.src, self.dst)
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind} {self.src}->{self.dst}"
+
+
+@dataclass
 class MachineStats:
     """Machine-wide aggregation over all CPUs plus global counters."""
 
@@ -82,6 +117,9 @@ class MachineStats:
     network_messages: int = 0
     directory_transactions: int = 0
     writebacks_charged: int = 0  # dirty-eviction writebacks billed by the directory
+    # per-link contention snapshot — populated by Machine.run() only when
+    # derived["link_stats"] = "on"; [] otherwise (zero cost when off)
+    links: List[LinkStats] = field(default_factory=list)
 
     @classmethod
     def for_nprocs(cls, nprocs: int) -> "MachineStats":

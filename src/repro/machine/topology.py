@@ -1,4 +1,4 @@
-"""Bristled fat hypercube topology and deterministic e-cube routing.
+"""Interconnect topologies and deterministic deadlock-free routing.
 
 The Origin2000 attaches two nodes (hubs) to each router; routers form a
 binary hypercube.  Routing between routers is dimension-ordered ("e-cube"),
@@ -6,25 +6,60 @@ which visits hypercube dimensions in increasing order and is therefore
 deadlock-free even when a message holds all its links for the duration of the
 transfer (the acquisition order of any path is strictly increasing in a
 global link ranking — see :mod:`repro.machine.network`).
+
+Two further structures exist for the hardware profiles in
+:mod:`repro.machine.profiles` (``config.topology`` selects one, the
+:func:`build_topology` factory instantiates it):
+
+* :class:`StarTopology` (``"fattree"``) — a commodity cluster collapsed to
+  its core switch: every node owns one ``up`` and one ``down`` link, every
+  remote route is ``up(src) -> down(dst)`` (uniform two-hop latency, per-node
+  injection/ejection serialisation as at a NIC).
+* :class:`DragonflyTopology` (``"dragonfly"``) — routers in all-to-all
+  *groups* with one global link per ordered group pair (diameter <= 3
+  router hops).  Minimal routing is local -> global -> local; the two local
+  legs use distinct virtual channels (``local0`` before the global hop,
+  ``local1`` after) so link acquisition stays strictly rank-increasing.
+  Global hops are counted in ``RouteInfo.deep_hops`` — they are the long
+  cables — and pay ``deep_hop_extra_ns``.
+
+Every route acquires links in strictly increasing :attr:`Link.rank`, and a
+route holds at most one link of any rank class, so a cycle of waiting
+transfers would need ranks to increase strictly around the cycle —
+impossible.  ``tests/test_profiles.py`` asserts the monotone-rank invariant
+for every pair under every topology.
+
+Subclasses may also override :meth:`Topology.route_static_ns` — the static
+(byte-free) cost of a route — when a profile's cost structure is not
+expressible as ``2*hub + hops*router_hop + deep_hops*deep_hop_extra``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, NamedTuple, Tuple
+from typing import Dict, List, NamedTuple, Tuple, Type
 
 from repro.machine.config import MachineConfig
 
-__all__ = ["Link", "RouteInfo", "Topology"]
+__all__ = [
+    "Link",
+    "RouteInfo",
+    "Topology",
+    "StarTopology",
+    "DragonflyTopology",
+    "TOPOLOGIES",
+    "build_topology",
+]
 
 
 class RouteInfo(NamedTuple):
     """One precomputed routing-table entry.
 
     ``links`` are link indices in traversal order; ``hops`` counts the
-    router-to-router (cube) hops among them and ``deep_hops`` the subset in
-    dimensions >= ``config.deep_dim_start`` (the long-cable hops that pay
-    ``deep_hop_extra_ns`` — only machines with more than 8 routers have any).
+    router-to-router hops among them and ``deep_hops`` the subset that are
+    long cables: hypercube dimensions >= ``config.deep_dim_start`` (only
+    machines with more than 8 routers have any) or dragonfly global links.
+    Both surcharge classes pay ``deep_hop_extra_ns``.
     """
 
     links: Tuple[int, ...]
@@ -34,11 +69,14 @@ class RouteInfo(NamedTuple):
 
 @dataclass(frozen=True)
 class Link:
-    """A directed channel.
+    """A directed channel, identified by its stable ``(kind, src, dst)``.
 
-    ``kind`` is one of ``"hub-out"`` (node→router), ``"hub-in"``
-    (router→node) or ``"cube"`` (router→router across one hypercube
-    dimension).  ``rank`` orders links so every route acquires links in
+    ``kind`` is topology-specific: ``"hub-out"``/``"hub-in"`` (node ↔
+    router), ``"cube"`` (hypercube router hop, across dimension ``dim``),
+    ``"up"``/``"down"`` (fat-tree node ↔ core switch), or
+    ``"local0"``/``"global"``/``"local1"`` (dragonfly local virtual
+    channel before the global hop / global cable / local virtual channel
+    after it).  ``rank`` orders links so every route acquires links in
     strictly increasing rank, guaranteeing deadlock freedom.
     """
 
@@ -53,6 +91,12 @@ class Link:
             return 0
         if self.kind == "cube":
             return self.dim + 1
+        if self.kind in ("up", "local0"):
+            return 1
+        if self.kind == "global":
+            return 2
+        if self.kind in ("down", "local1"):
+            return 3
         return 1_000_000  # hub-in: always last
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -60,7 +104,9 @@ class Link:
 
 
 class Topology:
-    """Precomputed routes between every pair of nodes."""
+    """Precomputed routes between every pair of nodes (hypercube base)."""
+
+    kind = "hypercube"
 
     def __init__(self, config: MachineConfig):
         self.config = config
@@ -83,11 +129,14 @@ class Topology:
         self._link_index[(link.kind, link.src, link.dst)] = len(self.links)
         self.links.append(link)
 
-    def _build_links(self) -> None:
+    def _add_hub_links(self) -> None:
         for node in range(self.nnodes):
             router = self.config.router_of_node(node)
             self._add_link(Link("hub-out", node, router))
             self._add_link(Link("hub-in", router, node))
+
+    def _build_links(self) -> None:
+        self._add_hub_links()
         for router in range(self.nrouters):
             for d in range(self.dim):
                 peer = router ^ (1 << d)
@@ -103,10 +152,27 @@ class Topology:
         return bin(ra ^ rb).count("1")
 
     def deep_hops(self, node_a: int, node_b: int) -> int:
-        """Hops in dimensions >= ``deep_dim_start`` between two nodes."""
+        """Long-cable hops (dims >= ``deep_dim_start``) between two nodes."""
         ra = self.config.router_of_node(node_a)
         rb = self.config.router_of_node(node_b)
         return bin((ra ^ rb) >> self.config.deep_dim_start).count("1")
+
+    def route_static_ns(self, info: RouteInfo) -> float:
+        """Static (byte-free) cost of an inter-node route.
+
+        The cost hook of the topology layer: the network charges
+        ``route_static_ns(info) + nbytes / link_bandwidth_bpns`` per
+        uncontended transfer.  The base formula covers all built-in
+        topologies (``deep_hops`` counts the surcharge class — deep
+        hypercube dimensions or dragonfly global cables); profile authors
+        can subclass and override for other cost structures.
+        """
+        cfg = self.config
+        return (
+            2 * cfg.hub_ns
+            + info.hops * cfg.router_hop_ns
+            + info.deep_hops * cfg.deep_hop_extra_ns
+        )
 
     def build_routing_tables(self) -> None:
         """Precompute :class:`RouteInfo` for every ordered node pair."""
@@ -166,3 +232,164 @@ class Topology:
             f"{self.nrouters} router(s), hypercube dim {self.dim}, "
             f"{len(self.links)} directed links"
         )
+
+
+class StarTopology(Topology):
+    """A fat-tree cluster collapsed to its core switch.
+
+    Every node has one ``up`` link into the core and one ``down`` link out
+    of it; every remote route is ``up(src) -> down(dst)`` — two router
+    hops, the same for every pair (the uniform remote latency of a
+    non-blocking fat tree).  Contention appears where it does on a real
+    cluster: at each node's injection (``up``) and ejection (``down``)
+    port.  Ranks: up(1) < down(3), so routes are monotone.
+    """
+
+    kind = "fattree"
+
+    def _build_links(self) -> None:
+        for node in range(self.nnodes):
+            self._add_link(Link("up", node, 0))
+            self._add_link(Link("down", 0, node))
+
+    def router_hops(self, node_a: int, node_b: int) -> int:
+        return 0 if node_a == node_b else 2
+
+    def deep_hops(self, node_a: int, node_b: int) -> int:
+        return 0
+
+    def _compute_route(self, src_node: int, dst_node: int) -> RouteInfo:
+        if src_node == dst_node:
+            return RouteInfo((), 0, 0)
+        return RouteInfo(
+            (
+                self._link_index[("up", src_node, 0)],
+                self._link_index[("down", 0, dst_node)],
+            ),
+            2,
+            0,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"fat-tree model: {self.config.nprocs} CPUs on {self.nnodes} node(s) "
+            f"behind one core switch, {len(self.links)} directed links, "
+            "uniform 2-hop remote routes"
+        )
+
+
+class DragonflyTopology(Topology):
+    """Dragonfly: all-to-all router groups joined by global cables.
+
+    Routers are grouped ``dragonfly_group`` at a time; within a group every
+    ordered router pair has a local channel, and every ordered *group* pair
+    shares exactly one directed global link between deterministic gateway
+    routers.  Minimal routes are at most local -> global -> local (diameter
+    3).  The two local legs use distinct virtual channels: ``local0``
+    (rank 1) before the global hop (rank 2), ``local1`` (rank 3) after it —
+    without the split, the post-global local hop would break the monotone
+    link ranking that makes hold-the-route transfers deadlock-free.  Global
+    hops are the long cables: they are counted in ``RouteInfo.deep_hops``
+    and pay ``deep_hop_extra_ns``.
+    """
+
+    kind = "dragonfly"
+
+    def __init__(self, config: MachineConfig):
+        self.group = config.dragonfly_group
+        super().__init__(config)
+
+    # -- group helpers -------------------------------------------------------
+
+    @property
+    def ngroups(self) -> int:
+        return -(-self.nrouters // self.group)
+
+    def group_of(self, router: int) -> int:
+        return router // self.group
+
+    def _group_routers(self, group: int) -> range:
+        return range(group * self.group, min((group + 1) * self.group, self.nrouters))
+
+    def _gateway(self, group: int, peer_group: int) -> int:
+        """The router in ``group`` carrying traffic to/from ``peer_group``."""
+        routers = self._group_routers(group)
+        return routers[peer_group % len(routers)]
+
+    # -- construction --------------------------------------------------------
+
+    def _build_links(self) -> None:
+        self._add_hub_links()
+        for r in range(self.nrouters):
+            for s in self._group_routers(self.group_of(r)):
+                if s != r:
+                    self._add_link(Link("local0", r, s))
+                    self._add_link(Link("local1", r, s))
+        for ga in range(self.ngroups):
+            for gb in range(self.ngroups):
+                if ga != gb:
+                    self._add_link(
+                        Link("global", self._gateway(ga, gb), self._gateway(gb, ga))
+                    )
+
+    # -- queries -------------------------------------------------------------
+
+    def router_hops(self, node_a: int, node_b: int) -> int:
+        return self.route_info(node_a, node_b).hops
+
+    def deep_hops(self, node_a: int, node_b: int) -> int:
+        return self.route_info(node_a, node_b).deep_hops
+
+    def _compute_route(self, src_node: int, dst_node: int) -> RouteInfo:
+        if src_node == dst_node:
+            return RouteInfo((), 0, 0)
+        cfg = self.config
+        r = cfg.router_of_node(src_node)
+        s = cfg.router_of_node(dst_node)
+        path: List[int] = [self._link_index[("hub-out", src_node, r)]]
+        hops = deep = 0
+        if r != s:
+            ga_grp, gb_grp = self.group_of(r), self.group_of(s)
+            if ga_grp == gb_grp:
+                path.append(self._link_index[("local0", r, s)])
+                hops += 1
+            else:
+                ga = self._gateway(ga_grp, gb_grp)
+                gb = self._gateway(gb_grp, ga_grp)
+                if r != ga:
+                    path.append(self._link_index[("local0", r, ga)])
+                    hops += 1
+                path.append(self._link_index[("global", ga, gb)])
+                hops += 1
+                deep += 1
+                if gb != s:
+                    path.append(self._link_index[("local1", gb, s)])
+                    hops += 1
+        path.append(self._link_index[("hub-in", s, dst_node)])
+        return RouteInfo(tuple(path), hops, deep)
+
+    def describe(self) -> str:
+        return (
+            f"dragonfly model: {self.config.nprocs} CPUs on {self.nnodes} node(s), "
+            f"{self.nrouters} router(s) in {self.ngroups} group(s) of "
+            f"{self.group}, {len(self.links)} directed links, diameter <= 3"
+        )
+
+
+#: topology classes by ``MachineConfig.topology`` value
+TOPOLOGIES: Dict[str, Type[Topology]] = {
+    "hypercube": Topology,
+    "fattree": StarTopology,
+    "dragonfly": DragonflyTopology,
+}
+
+
+def build_topology(config: MachineConfig) -> Topology:
+    """Instantiate the topology ``config.topology`` names."""
+    try:
+        cls = TOPOLOGIES[config.topology]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {config.topology!r}; choose from {sorted(TOPOLOGIES)}"
+        ) from None
+    return cls(config)

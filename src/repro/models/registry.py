@@ -13,6 +13,7 @@ from typing import Any, Callable, List, Optional, Union
 from repro.faults import FaultProfile
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
+from repro.machine.profiles import MachineProfile
 from repro.models.base import BaseContext, ProgramResult
 
 __all__ = ["MODEL_NAMES", "make_contexts", "run_program"]
@@ -52,6 +53,7 @@ def run_program(
     machine: Optional[Machine] = None,
     trace: bool = False,
     faults: Union[None, str, FaultProfile] = None,
+    profile: Union[None, str, MachineProfile] = None,
 ) -> ProgramResult:
     """Run ``program(ctx, *args)`` on every rank under ``model``.
 
@@ -80,6 +82,13 @@ def run_program(
             :class:`repro.faults.FaultProfile`, or ``None``/``"none"``
             for the fault-free machine.  Ignored when ``machine`` is
             supplied (the machine already owns its fault plane).
+        profile: hardware profile — a name from
+            :data:`repro.machine.profiles.PROFILES` (e.g.
+            ``"numa-epyc"``), a
+            :class:`~repro.machine.profiles.MachineProfile`, or ``None``
+            for the default Origin2000 machine.  Overlays hardware
+            constants (and possibly the topology) on ``config``; also
+            ignored when ``machine`` is supplied.
 
     Returns:
         A :class:`ProgramResult` with the simulated elapsed time, the
@@ -91,7 +100,7 @@ def run_program(
         cfg = config or MachineConfig(nprocs=nprocs)
         if cfg.nprocs != nprocs:
             cfg = cfg.with_(nprocs=nprocs)
-        machine = Machine(cfg, placement=placement, faults=faults)
+        machine = Machine(cfg, placement=placement, faults=faults, profile=profile)
     elif machine.nprocs < nprocs:
         raise ValueError(f"machine has {machine.nprocs} CPUs < nprocs={nprocs}")
     if trace:

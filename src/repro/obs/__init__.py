@@ -8,7 +8,9 @@ Perfetto/JSONL exporters, and a trace-based synchronization checker.
 from repro.obs.analysis import (
     RANK_FLOW_KINDS,
     comm_matrix,
+    format_link_contention,
     format_matrix,
+    link_contention_rows,
     phase_breakdown,
     phase_intervals,
     sas_home_matrix,
@@ -31,6 +33,8 @@ __all__ = [
     "phase_intervals",
     "summarize",
     "format_matrix",
+    "link_contention_rows",
+    "format_link_contention",
     "to_jsonl",
     "from_jsonl",
     "to_perfetto",

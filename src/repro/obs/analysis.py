@@ -33,6 +33,8 @@ __all__ = [
     "phase_intervals",
     "summarize",
     "format_matrix",
+    "link_contention_rows",
+    "format_link_contention",
 ]
 
 #: event kinds that describe rank-to-rank data flow (``src`` -> ``dst``)
@@ -162,6 +164,63 @@ def summarize(events: Sequence[Event]) -> Dict[str, Dict[str, float]]:
         row["bytes"] += ev.nbytes
         row["dur_ns"] += ev.dur
     return out
+
+
+def link_contention_rows(
+    links: Iterable, top: Optional[int] = None, busy_only: bool = True
+) -> List[Dict[str, object]]:
+    """Tabular per-link contention from ``MachineStats.links``.
+
+    Takes the :class:`repro.machine.stats.LinkStats` snapshot a run
+    collected under ``derived["link_stats"] = "on"`` and returns one
+    plain-dict row per link, sorted hottest-first (queued ns, then
+    bytes).  ``busy_only`` drops links that carried nothing; ``top``
+    truncates to the N hottest.  Raises ``ValueError`` when the snapshot
+    is empty — the run was made without link stats enabled.
+    """
+    links = list(links)
+    if not links:
+        raise ValueError(
+            "no per-link stats in this run; enable with "
+            'derived["link_stats"] = "on" (CLI: run --link-stats)'
+        )
+    rows = [
+        {
+            "link": ls.label,
+            "kind": ls.kind,
+            "src": ls.src,
+            "dst": ls.dst,
+            "bytes": ls.bytes,
+            "acquires": ls.acquires,
+            "claim_waits": ls.claim_waits,
+            "queued_ns": ls.queued_ns,
+            "busy_ns": ls.busy_ns,
+            "saturation": ls.saturation,
+        }
+        for ls in links
+        if not busy_only or ls.acquires > 0
+    ]
+    rows.sort(key=lambda r: (-r["queued_ns"], -r["bytes"], r["link"]))
+    if top is not None:
+        rows = rows[:top]
+    return rows
+
+
+def format_link_contention(links: Iterable, top: Optional[int] = 16) -> str:
+    """Fixed-width table of the hottest links (CLI ``run --link-stats``)."""
+    rows = link_contention_rows(links, top=top)
+    header = (
+        f"{'link':<20} {'bytes':>12} {'acq':>7} {'waits':>6} "
+        f"{'queued_ms':>10} {'busy_ms':>9} {'sat':>6}"
+    )
+    lines = [header]
+    for r in rows:
+        lines.append(
+            f"{r['link']:<20} {r['bytes']:>12} {r['acquires']:>7} "
+            f"{r['claim_waits']:>6} {r['queued_ns'] / 1e6:>10.3f} "
+            f"{r['busy_ns'] / 1e6:>9.3f} {r['saturation']:>6.1%}"
+        )
+    return "\n".join(lines)
 
 
 def format_matrix(

@@ -47,6 +47,7 @@ class Cell:
     placement: str = "first-touch"
     faults: Any = None
     derived: Optional[Dict[str, Any]] = None
+    machine_profile: Any = None
 
     def run_kwargs(self) -> Dict[str, Any]:
         """The ``run_app`` keyword form of this cell."""
@@ -58,6 +59,7 @@ class Cell:
             "placement": self.placement,
             "faults": self.faults,
             "derived": self.derived,
+            "machine_profile": self.machine_profile,
         }
 
     def signature(self) -> Dict[str, Any]:
@@ -65,6 +67,7 @@ class Cell:
         return run_signature(
             self.app, self.model, self.nprocs, self.workload,
             self.placement, self.faults, self.derived,
+            machine_profile=self.machine_profile,
         )
 
     def key(self) -> str:
@@ -76,10 +79,14 @@ class Cell:
         return run_identity(
             self.app, self.model, self.nprocs, self.workload,
             self.placement, self.faults,
+            machine_profile=self.machine_profile,
         )
 
     def label(self) -> str:
         """Short human label for tables and error messages."""
+        if self.machine_profile is not None:
+            mp = getattr(self.machine_profile, "name", self.machine_profile)
+            return f"{self.app}/{self.model}/P{self.nprocs}@{mp}"
         return f"{self.app}/{self.model}/P{self.nprocs}"
 
 

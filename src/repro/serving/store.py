@@ -147,19 +147,25 @@ def run_signature(
     placement: str = "first-touch",
     faults: Any = None,
     derived: Optional[Dict[str, Any]] = None,
+    machine_profile: Any = None,
 ) -> Dict[str, Any]:
     """The full canonical signature of one run.
 
     Covers everything that can change a simulated result: the workload
     content (a scenario's sha256 content hash, a config dataclass's full
     field set), the machine shape (``nprocs``, ``placement``,
-    ``derived`` switches), the fault profile, and a version salt
-    (``repro.__version__`` + the store schema) so a new engine never
-    serves results computed by an old one.
+    ``derived`` switches, the hardware profile), the fault profile, and
+    a version salt (``repro.__version__`` + the store schema) so a new
+    engine never serves results computed by an old one.  The hardware
+    profile signs as its registry name when its overlay matches the
+    registered entry, and as its full canonical ``repr`` otherwise — so
+    two profiles that differ in a single cost constant can never alias.
 
     Returns:
         A JSON-safe dict; hash it with :func:`cache_key`.
     """
+    from repro.machine.profiles import machine_profile_signature
+
     return {
         "schema": STORE_SCHEMA,
         "engine": repro.__version__,
@@ -170,6 +176,7 @@ def run_signature(
         "placement": str(placement),
         "faults": _faults_signature(faults),
         "derived": _plain(dict(derived)) if derived else None,
+        "machine_profile": machine_profile_signature(machine_profile),
     }
 
 
@@ -185,13 +192,17 @@ def run_identity(
     workload: Any = None,
     placement: str = "first-touch",
     faults: Any = None,
+    machine_profile: Any = None,
 ) -> str:
     """The human grouping key of a run: *which cell*, not *which content*.
 
     Two signatures with the same identity but different keys are the
     same sweep cell computed from different content — i.e. the old one
     is *stale*.  The workload contributes its name (scenario specs) or
-    its type (config dataclasses), never its content.
+    its type (config dataclasses), never its content.  The hardware
+    profile contributes its name (``default`` when none), so cells on
+    different machines are different cells, never stale copies of each
+    other.
     """
     workload = resolve_workload(app, workload)
     if workload is None:
@@ -206,7 +217,13 @@ def run_identity(
         fl = faults
     else:
         fl = getattr(faults, "name", None) or "profile"
-    return f"{app}/{wl}/{model}/P{int(nprocs)}/{placement}/{fl}"
+    if machine_profile is None:
+        mp = "default"
+    elif isinstance(machine_profile, str):
+        mp = machine_profile
+    else:
+        mp = getattr(machine_profile, "name", None) or "profile"
+    return f"{app}/{wl}/{model}/P{int(nprocs)}/{placement}/{fl}/{mp}"
 
 
 # -- result summaries ---------------------------------------------------------
@@ -436,11 +453,12 @@ class ResultStore:
     # -- administration -------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        """Store-wide inventory: entry count, bytes, apps, engine salts."""
+        """Store-wide inventory: entries, bytes, apps, engines, profiles."""
         count = 0
         nbytes = 0
         apps: Dict[str, int] = {}
         engines: Dict[str, int] = {}
+        profiles: Dict[str, int] = {}
         unreadable = 0
         for path, record in self.entries():
             count += 1
@@ -455,6 +473,12 @@ class ResultStore:
             apps[sig.get("app", "?")] = apps.get(sig.get("app", "?"), 0) + 1
             eng = str(sig.get("engine", "?"))
             engines[eng] = engines.get(eng, 0) + 1
+            mp = sig.get("machine_profile") or "default"
+            # unregistered profiles sign by a long canonical repr; bucket
+            # them under their name prefix to keep the report readable
+            if mp.startswith("MachineProfile("):
+                mp = "custom"
+            profiles[mp] = profiles.get(mp, 0) + 1
         return {
             "root": str(self.root),
             "entries": count,
@@ -462,6 +486,7 @@ class ResultStore:
             "unreadable": unreadable,
             "by_app": apps,
             "by_engine": engines,
+            "by_profile": profiles,
         }
 
     def verify(self) -> List[str]:

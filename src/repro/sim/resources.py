@@ -34,6 +34,7 @@ class Resource:
         self._waiters: Deque[Event] = deque()
         # statistics
         self.total_acquires = 0
+        self.waited_acquires = 0   # acquires that found the resource busy
         self.total_wait_ns = 0.0
         self.busy_ns = 0.0
         self._last_change = 0.0
@@ -53,6 +54,7 @@ class Resource:
             return
             yield  # pragma: no cover - makes this a generator
         gate = self.engine.event(name=f"res:{self.name}")
+        self.waited_acquires += 1
         self._waiters.append(gate)
         yield WaitEvent(gate)
         self.total_wait_ns += self.engine.now - start

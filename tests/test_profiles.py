@@ -1,0 +1,280 @@
+"""Tests for the pluggable hardware profiles (``repro.machine.profiles``).
+
+The load-bearing contracts:
+
+* **Golden bit-identity** — ``profile="origin2000"`` and no profile at
+  all produce bit-identical runs (elapsed ns, rank results, and the full
+  obs event stream) for every model.  The profile layer must be a pure
+  overlay: zero simulated-time cost when it overlays nothing.
+* **No aliasing** — two profiles that differ in a single cost constant
+  produce different cache keys, different store identities, and separate
+  ``by_profile`` buckets; a custom profile never aliases a registered
+  name.
+* **Route sanity off-hypercube** — the fat-tree and dragonfly topologies
+  keep the deadlock-freedom invariant (strictly increasing link rank
+  along every route) and their ``router_hops`` agree with the routes the
+  network actually takes (the directory charges latency through
+  ``router_hops``).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.apps.adapt import AdaptConfig
+from repro.harness import run_app
+from repro.machine import Machine, MachineConfig
+from repro.machine.profiles import (
+    PROFILES,
+    MachineProfile,
+    machine_profile_signature,
+    resolve_machine_profile,
+)
+from repro.machine.topology import build_topology
+from repro.serving import Cell, ResultStore, cache_key, run_signature
+
+SMALL = AdaptConfig(mesh_n=8, phases=3, solver_iters=6)
+MODELS = ("mpi", "shmem", "sas")
+GOLDEN_PROCS = [1, 8, pytest.param(64, marks=pytest.mark.nightly)]
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_has_the_documented_profiles():
+    assert set(PROFILES) == {
+        "origin2000", "numa-epyc", "fat-tree-cluster", "dragonfly",
+    }
+    for name, prof in PROFILES.items():
+        assert prof.name == name
+        assert prof.description
+        # every profile must be applicable to a default config
+        prof.apply(MachineConfig())
+
+
+def test_origin2000_profile_is_the_empty_overlay():
+    cfg = MachineConfig(nprocs=8)
+    assert PROFILES["origin2000"].overrides == ()
+    # the empty overlay returns the very same config object
+    assert PROFILES["origin2000"].apply(cfg) is cfg
+
+
+def test_profile_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown MachineConfig field"):
+        MachineProfile("x", "bad", overrides=(("not_a_field", 1),))
+
+
+def test_profile_rejects_experiment_state_fields():
+    with pytest.raises(ValueError, match="experiment state"):
+        MachineProfile("x", "bad", overrides=(("nprocs", 64),))
+    with pytest.raises(ValueError, match="experiment state"):
+        MachineProfile("x", "bad", overrides=(("derived", {}),))
+
+
+def test_profile_rejects_duplicate_overrides():
+    with pytest.raises(ValueError, match="twice"):
+        MachineProfile("x", "bad", overrides=(("hub_ns", 1.0), ("hub_ns", 2.0)))
+
+
+def test_resolve_passthrough_and_lookup():
+    assert resolve_machine_profile(None) is None
+    prof = PROFILES["dragonfly"]
+    assert resolve_machine_profile(prof) is prof
+    assert resolve_machine_profile("dragonfly") is prof
+    with pytest.raises(TypeError):
+        resolve_machine_profile(42)
+
+
+def test_resolve_unknown_name_suggests_nearest():
+    with pytest.raises(ValueError) as exc:
+        resolve_machine_profile("dragonfyl")
+    msg = str(exc.value)
+    assert "did you mean 'dragonfly'?" in msg
+    assert "origin2000" in msg  # the full valid list is shown
+    with pytest.raises(ValueError) as exc:
+        resolve_machine_profile("no-such-machine")
+    assert "choose from" in str(exc.value)
+
+
+def test_signature_distinguishes_custom_from_registered():
+    assert machine_profile_signature(None) is None
+    assert machine_profile_signature("numa-epyc") == "numa-epyc"
+    assert machine_profile_signature(PROFILES["numa-epyc"]) == "numa-epyc"
+    # same name, different constants: must NOT sign as the bare name
+    fake = MachineProfile("numa-epyc", "tweaked",
+                          overrides=(("hub_ns", 1.0),))
+    assert machine_profile_signature(fake) != "numa-epyc"
+
+
+# ---------------------------------------------------- golden bit-identity
+
+
+def _fingerprint(result) -> str:
+    events = result.events or []
+    blob = repr([
+        (ev.kind, ev.src, ev.dst, ev.t, ev.dur, ev.nbytes) for ev in events
+    ]).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@pytest.mark.parametrize("nprocs", GOLDEN_PROCS, ids=lambda p: f"P{p}")
+@pytest.mark.parametrize("model", MODELS)
+def test_origin2000_profile_is_bit_identical_to_default(model, nprocs):
+    base = run_app("adapt", model, nprocs, SMALL, trace=True)
+    prof = run_app("adapt", model, nprocs, SMALL, trace=True,
+                   machine_profile="origin2000")
+    assert prof.elapsed_ns == base.elapsed_ns
+    assert prof.rank_results == base.rank_results
+    assert _fingerprint(prof) == _fingerprint(base)
+
+
+def test_other_profiles_change_simulated_time():
+    base = run_app("adapt", "mpi", 8, SMALL)
+    for name in ("numa-epyc", "fat-tree-cluster", "dragonfly"):
+        other = run_app("adapt", "mpi", 8, SMALL, machine_profile=name)
+        assert other.elapsed_ns != base.elapsed_ns, name
+
+
+def test_profiled_runs_are_deterministic():
+    a = run_app("adapt", "shmem", 8, SMALL, machine_profile="dragonfly")
+    b = run_app("adapt", "shmem", 8, SMALL, machine_profile="dragonfly")
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.rank_results == b.rank_results
+
+
+# ------------------------------------------------------------- aliasing
+
+
+def test_cost_constant_difference_means_distinct_cache_keys():
+    slow = MachineProfile("custom-a", "a", overrides=(("hub_ns", 60.0),))
+    fast = MachineProfile("custom-b", "b", overrides=(("hub_ns", 30.0),))
+    sigs = [
+        run_signature("adapt", "mpi", 8, SMALL, "first-touch", None, None,
+                      machine_profile=mp)
+        for mp in (None, "origin2000", slow, fast)
+    ]
+    keys = [cache_key(s) for s in sigs]
+    assert len(set(keys)) == 4  # default, named, and both customs all distinct
+
+
+def test_store_entries_do_not_alias_across_profiles(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    r_default = run_app("adapt", "mpi", 8, SMALL, store=store)
+    r_dragon = run_app("adapt", "mpi", 8, SMALL, store=store,
+                       machine_profile="dragonfly")
+    assert r_default.elapsed_ns != r_dragon.elapsed_ns
+    # warm pass returns each profile's own stored time
+    again_default = run_app("adapt", "mpi", 8, SMALL, store=store)
+    again_dragon = run_app("adapt", "mpi", 8, SMALL, store=store,
+                           machine_profile="dragonfly")
+    assert again_default.elapsed_ns == r_default.elapsed_ns
+    assert again_dragon.elapsed_ns == r_dragon.elapsed_ns
+    st = store.stats()
+    assert st["entries"] == 2
+    assert st["by_profile"] == {"default": 1, "dragonfly": 1}
+
+
+def test_custom_profile_buckets_as_custom_in_stats(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    tweak = MachineProfile("tweak", "t", overrides=(("hub_ns", 10.0),))
+    run_app("adapt", "mpi", 2, SMALL, store=store, machine_profile=tweak)
+    assert store.stats()["by_profile"] == {"custom": 1}
+
+
+def test_cell_signature_and_identity_carry_the_profile():
+    plain = Cell("adapt", "mpi", 8, SMALL, "first-touch")
+    prof = Cell("adapt", "mpi", 8, SMALL, "first-touch",
+                machine_profile="fat-tree-cluster")
+    assert plain.signature() != prof.signature()
+    assert plain.identity().endswith("/default")
+    assert prof.identity().endswith("/fat-tree-cluster")
+    assert "@fat-tree-cluster" in prof.label()
+
+
+# --------------------------------------------- non-hypercube topologies
+
+
+@pytest.mark.parametrize("name", ["fat-tree-cluster", "dragonfly"])
+@pytest.mark.parametrize("nprocs", [2, 8, 32])
+def test_routes_have_strictly_increasing_rank(name, nprocs):
+    """The deadlock-freedom invariant holds off the hypercube too."""
+    cfg = PROFILES[name].apply(MachineConfig(nprocs=nprocs))
+    topo = build_topology(cfg)
+    for a in range(topo.nnodes):
+        for b in range(topo.nnodes):
+            info = topo.route_info(a, b)
+            ranks = [topo.links[i].rank for i in info.links]
+            assert ranks == sorted(ranks)
+            assert len(set(ranks)) == len(ranks), (a, b, info.links)
+
+
+@pytest.mark.parametrize("name", ["fat-tree-cluster", "dragonfly"])
+def test_router_hops_matches_the_actual_route(name):
+    """The directory's latency charge must agree with the network route."""
+    cfg = PROFILES[name].apply(MachineConfig(nprocs=32))
+    topo = build_topology(cfg)
+    for a in range(topo.nnodes):
+        for b in range(topo.nnodes):
+            assert topo.router_hops(a, b) == topo.route_info(a, b).hops
+
+
+def test_fattree_routes_are_uniform_two_hop():
+    cfg = PROFILES["fat-tree-cluster"].apply(MachineConfig(nprocs=32))
+    topo = build_topology(cfg)
+    for a in range(topo.nnodes):
+        for b in range(topo.nnodes):
+            if a == b:
+                assert topo.router_hops(a, b) == 0
+            else:
+                assert topo.router_hops(a, b) == 2
+                kinds = [topo.links[i].kind for i in topo.route_info(a, b).links]
+                assert kinds == ["up", "down"]
+
+
+def test_dragonfly_remote_routes_cross_one_global_link():
+    cfg = PROFILES["dragonfly"].apply(MachineConfig(nprocs=64))
+    topo = build_topology(cfg)
+    group = cfg.dragonfly_group
+    for a in range(topo.nnodes):
+        for b in range(topo.nnodes):
+            ra, rb = cfg.router_of_node(a), cfg.router_of_node(b)
+            kinds = [topo.links[i].kind for i in topo.route_info(a, b).links]
+            if ra // group == rb // group:
+                assert "global" not in kinds
+                assert topo.route_info(a, b).deep_hops == 0
+            else:
+                assert kinds.count("global") == 1
+                assert topo.route_info(a, b).deep_hops == 1
+
+
+def test_machine_builds_and_runs_under_every_profile():
+    for name in PROFILES:
+        m = Machine(MachineConfig(nprocs=8), profile=name)
+        assert m.profile.name == name
+        if name != "origin2000":
+            assert name in m.describe()
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def test_cli_rejects_unknown_profile_with_suggestion(capsys):
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "adapt", "mpi", "-n", "2", "--machine-profile", "origin200"])
+    msg = str(exc.value)
+    assert "did you mean 'origin2000'?" in msg
+    assert "choose from" in msg
+
+
+def test_cli_profiles_list_and_describe(capsys):
+    from repro.__main__ import main
+
+    assert main(["profiles", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in PROFILES:
+        assert name in out
+    assert main(["profiles", "describe", "fat-tree-cluster"]) == 0
+    out = capsys.readouterr().out
+    assert "topology" in out and "fattree" in out

@@ -83,7 +83,7 @@ class TestSignatures:
 
     def test_identity_ignores_content(self):
         ident = run_identity("jacobi", "mpi", 4, SMALL)
-        assert ident == "jacobi/JacobiConfig/mpi/P4/first-touch/none"
+        assert ident == "jacobi/JacobiConfig/mpi/P4/first-touch/none/default"
         assert run_identity("jacobi", "mpi", 4, JacobiConfig(nx=64, ny=64, iters=9)) == ident
 
 
@@ -215,7 +215,9 @@ class TestInvalidation:
         _, report = refresh(changed, store, gc_stale=True)
         assert (report["hits"], report["misses"]) == (2, 1)
         assert report["invalidated"] == 1 and report["stale_removed"] == 1
-        assert report["stale_identities"] == ["jacobi/JacobiConfig/mpi/P2/first-touch/none"]
+        assert report["stale_identities"] == [
+            "jacobi/JacobiConfig/mpi/P2/first-touch/none/default"
+        ]
 
     def test_noop_refresh_is_all_hits(self, tmp_path):
         store = ResultStore(tmp_path)
