@@ -24,7 +24,9 @@ from repro.machine import Machine, MachineConfig
 from repro.models import run_program
 from repro.harness import run_app, sweep
 
-__version__ = "1.1.0"
+# also the result-store engine salt: bump on any intentional change to
+# simulated timelines (1.2.0: collective-aware MPI fault recovery)
+__version__ = "1.2.0"
 
 __all__ = [
     "Machine",

@@ -547,17 +547,26 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
     )
 
     store = _store_from_args(args, default_on=True)
+    profile = args.profile
+    models = args.models
+    if args.correlated:
+        # correlated mode defaults to the burst preset and adds hybrid
+        if profile == "lossy":
+            profile = "bursty-links"
+        if models == "mpi,shmem,sas":
+            models = "mpi,shmem,sas,hybrid"
     record = run_fault_bench(
         app=args.app,
-        models=tuple(args.models.split(",")),
+        models=tuple(models.split(",")),
         nprocs_list=_check_procs_list(args.procs),
-        profile=args.profile,
+        profile=profile,
         seed=args.seed,
         workload=_workload(args.app, args.size),
         verify=not args.no_verify,
         store=store,
         jobs=args.jobs,
         machine_profile=args.machine_profile,
+        correlated=args.correlated,
     )
     print(format_fault_bench(record))
     _print_store_report(store)
@@ -575,7 +584,16 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
-    return 0
+    if args.require_recovery > 0:
+        best = record.get("correlated", {}).get("best_recovered_pct", 0.0)
+        if best < args.require_recovery:
+            print(
+                f"ERROR: best fault-aware recovery {best:.1f}% below the "
+                f"required {args.require_recovery:.1f}%",
+                file=sys.stderr,
+            )
+            return 1
+    return _check_hit_rate(store, args.min_hit_rate)
 
 
 def _parse_knobs(pairs) -> dict:
@@ -1079,7 +1097,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the trace-based synchronization checker")
     p.add_argument("--faults", default=None, metavar="PROFILE",
                    help="inject faults using a named profile "
-                        "(drizzle, lossy, stress, nacky, flaky-links)")
+                        "(drizzle, lossy, stress, nacky, flaky-links, "
+                        "bursty-links, bursty-router, bursty-dir) or a "
+                        "'gilbert:p=...,r=...,domains=link:cube:1+router:0' "
+                        "spec for correlated bursts; add ',aware=1' to feed "
+                        "the expected fault cost into PLUM's repartitioner")
     p.add_argument("--fault-seed", type=int, default=None,
                    help="override the fault profile's seed")
     p.add_argument("--engine-batch", choices=("on", "off"), default=None,
@@ -1189,14 +1211,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-p", "--procs", default="1,4,8")
     p.add_argument("-m", "--models", default="mpi,shmem,sas")
     p.add_argument("--profile", default="lossy",
-                   help="fault profile (drizzle, lossy, stress, nacky, flaky-links)")
+                   help="fault profile (drizzle, lossy, stress, nacky, "
+                        "flaky-links, bursty-links, bursty-router, bursty-dir, "
+                        "or a gilbert:k=v,... spec)")
     p.add_argument("--seed", type=int, default=None,
                    help="override the profile's seed")
+    p.add_argument("--correlated", action="store_true",
+                   help="three-arm correlated-burst comparison: fault-free, "
+                        "fault-blind, and fault-aware PLUM (defaults the "
+                        "profile to bursty-links and adds hybrid to -m)")
     p.add_argument("-o", "--output", default=None, help="BENCH_FAULTS.json path")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the determinism double-run of each faulted config")
     p.add_argument("--require-retries", action="store_true",
                    help="fail unless every model at P>1 exercised recovery (CI)")
+    p.add_argument("--require-recovery", type=float, default=0.0, metavar="PCT",
+                   help="with --correlated: fail unless some (model, P) cell "
+                        "recovers at least PCT%% of the fault-blind penalty (CI)")
+    p.add_argument("--min-hit-rate", type=float, default=0.0, metavar="RATE",
+                   help="fail when the store hit rate is below RATE (CI warm pass)")
     _add_machine_profile(p)
     _add_serving(p, default_on=True)
     p.set_defaults(fn=cmd_bench_faults)

@@ -156,10 +156,36 @@ def _owner_of_refined(mesh: TriMesh, tid: int, owner: Dict[int, int]) -> int:
     return owner.get(t, 0)
 
 
-def build_script(config: AdaptConfig, nprocs: int) -> AdaptScript:
-    """Compute the full trajectory for ``config`` on ``nprocs`` processors."""
+def build_script(
+    config: AdaptConfig,
+    nprocs: int,
+    faults=None,
+    machine_profile=None,
+) -> AdaptScript:
+    """Compute the full trajectory for ``config`` on ``nprocs`` processors.
+
+    ``faults``, when it resolves to a *correlated, fault-aware* profile
+    (``fault_aware=True`` with Gilbert–Elliott failure domains), switches
+    PLUM into failure-aware reassignment: the profile's stationary
+    per-route expectations on this run's topology (and hardware profile)
+    become a link-penalty matrix that steers heavy halo pairs off flaky
+    routes.  Any other value — ``None``, an i.i.d. profile, a correlated
+    profile without ``fault_aware`` — leaves the trajectory bit-identical
+    to the fault-blind build, which is what keeps faults-off runs (and
+    fault-blind baselines) unchanged.
+    """
     if nprocs < 1:
         raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    link_penalty = None
+    if faults is not None:
+        from repro.faults import resolve_profile
+        from repro.plum.faultaware import rank_penalty_matrix
+
+        prof = resolve_profile(faults)
+        if prof.fault_aware and prof.correlated:
+            link_penalty = rank_penalty_matrix(
+                prof, nprocs, machine_profile=machine_profile
+            )
     shock = config.shock
     mesh = structured_mesh(config.mesh_n)
     balancer = PlumBalancer(
@@ -167,6 +193,7 @@ def build_script(config: AdaptConfig, nprocs: int) -> AdaptScript:
         partitioner=PARTITIONERS[config.partitioner],
         policy=ImbalancePolicy(config.imbalance_threshold),
         reassigner=config.reassigner,
+        link_penalty=link_penalty,
     )
     owner = balancer.initial_partition(mesh)
     phases: List[PhasePlan] = []

@@ -23,7 +23,7 @@ zero-cost/bit-identical when disabled (the same guard style as
 """
 
 from repro.faults.injector import COUNTER_KEYS, FaultPlane, FaultRecoveryError
-from repro.faults.profile import PROFILES, FaultProfile, resolve_profile
+from repro.faults.profile import PROFILES, FaultProfile, parse_domain, resolve_profile
 
 __all__ = [
     "COUNTER_KEYS",
@@ -31,5 +31,6 @@ __all__ = [
     "FaultRecoveryError",
     "FaultProfile",
     "PROFILES",
+    "parse_domain",
     "resolve_profile",
 ]

@@ -34,7 +34,10 @@ COUNTER_KEYS = (
     "nack",            # directory NACK bounces injected
     "retry_mpi",       # MPI retransmissions performed
     "retry_shmem",     # SHMEM retransmissions performed
+    "retry_coll",      # MPI collective subtree re-subscribes performed
     "retry_wait_ns",   # total retransmission-timer wait (simulated ns)
+    "ge_bad",          # bad-state traversals of a Gilbert–Elliott element
+    "ge_bursts",       # good -> bad transitions (burst onsets)
 )
 
 
@@ -51,9 +54,22 @@ def _mix(x: int) -> int:
 
 
 class FaultPlane:
-    """Deterministic fault-injection decisions plus injection counters."""
+    """Deterministic fault-injection decisions plus injection counters.
 
-    __slots__ = ("profile", "enabled", "counters", "_site_seq")
+    For correlated profiles (``profile.correlated``), the plane holds one
+    Gilbert–Elliott chain per failure-domain member — a flaky link or a
+    flaky directory home.  A chain's ``k``-th step is a pure function of
+    ``(seed, element, k)``, so the burst schedule is byte-identical for
+    identical seeds and independent of coroutine interleaving, exactly
+    like the i.i.d. draws.  Call :meth:`bind_topology` (the machine does)
+    to resolve the named domains against the run's links.
+    """
+
+    __slots__ = (
+        "profile", "enabled", "counters", "_site_seq",
+        "_flaky_links", "_flaky_homes", "_ge_state", "_ge_seq",
+        "link_drops", "link_ge_bad", "link_stall_ns",
+    )
 
     def __init__(self, profile: Optional[FaultProfile] = None):
         self.profile = resolve_profile(profile)
@@ -61,6 +77,76 @@ class FaultPlane:
         self.counters: Dict[str, float] = {k: 0 for k in COUNTER_KEYS}
         # per-site invocation counters: (site kind, a, b) -> next sequence no.
         self._site_seq: Dict[Tuple, int] = {}
+        # correlated state — empty until bind_topology on a correlated profile
+        self._flaky_links: frozenset = frozenset()
+        self._flaky_homes: frozenset = frozenset()
+        self._ge_state: Dict[Tuple, bool] = {}  # element -> currently bad?
+        self._ge_seq: Dict[Tuple, int] = {}     # element -> next step number
+        # per-link fault counters (index-aligned with topology.links; None
+        # until a correlated bind so the i.i.d. paths pay nothing)
+        self.link_drops: Optional[list] = None
+        self.link_ge_bad: Optional[list] = None
+        self.link_stall_ns: Optional[list] = None
+
+    # -- failure domains ---------------------------------------------------------
+
+    def bind_topology(self, topology) -> None:
+        """Resolve the profile's failure domains against a topology.
+
+        No-op unless the profile is correlated.  ``router:<id>`` selects
+        every inter-router link touching that router (hub/up/down links
+        address nodes, so they never match); ``link:<kind>[:<dim>]``
+        selects by link kind; ``dir:<node>`` marks a home directory as
+        bursty.  A selector that matches nothing is legal (e.g.
+        ``link:cube:1`` below 16 CPUs) — it simply injects nothing.
+        """
+        if not self.profile.correlated:
+            return
+        node_kinds = ("hub-out", "hub-in", "up", "down")
+        flaky = set()
+        homes = set()
+        for dom in self.profile.parsed_domains():
+            if dom[0] == "dir":
+                homes.add(dom[1])
+                continue
+            for i, link in enumerate(topology.links):
+                if dom[0] == "router":
+                    if link.kind not in node_kinds and dom[1] in (link.src, link.dst):
+                        flaky.add(i)
+                elif dom[0] == "link":
+                    if link.kind == dom[1] and (dom[2] is None or link.dim == dom[2]):
+                        flaky.add(i)
+        self._flaky_links = frozenset(flaky)
+        self._flaky_homes = frozenset(homes)
+        nlinks = len(topology.links)
+        self.link_drops = [0] * nlinks
+        self.link_ge_bad = [0] * nlinks
+        self.link_stall_ns = [0.0] * nlinks
+
+    def _ge_step(self, etype: int, eid: int) -> bool:
+        """Advance one chain by one traversal; True if it was in *bad*.
+
+        ``(etype, eid)`` names the chain: ``(0, link index)`` or ``(1,
+        home node)``.  The traversal experiences the state it arrives in;
+        the chain then transitions using the counter-hashed draw for this
+        step, so the empirical bad-state occupancy converges to ``p / (p
+        + r)`` and bad sojourns are geometric with mean ``1 / r``.
+        """
+        p = self.profile
+        element = (etype, eid)
+        k = self._ge_seq.get(element, 0)
+        self._ge_seq[element] = k + 1
+        bad = self._ge_state.get(element, False)
+        u = self._uniform(5, etype, eid, k)
+        if bad:
+            if u < p.ge_r:
+                self._ge_state[element] = False
+        elif u < p.ge_p:
+            self._ge_state[element] = True
+            self.counters["ge_bursts"] += 1
+        if bad:
+            self.counters["ge_bad"] += 1
+        return bad
 
     # -- decision mechanics ----------------------------------------------------
 
@@ -84,13 +170,22 @@ class FaultPlane:
     # -- link faults -------------------------------------------------------------
 
     def link_verdict(
-        self, src_node: int, dst_node: int, hops: int, now_ns: float
+        self,
+        src_node: int,
+        dst_node: int,
+        hops: int,
+        now_ns: float,
+        link_idxs: Tuple[int, ...] = (),
     ) -> Tuple[bool, float, bool]:
         """Decide the fate of one transfer: ``(dropped, extra_ns, duplicated)``.
 
-        Drop and stall draws are made once per router hop (minimum one), a
-        duplication draw once per transfer.  The counters are updated here
-        so callers only need to act on the verdict.
+        I.i.d. drop and stall draws are made once per router hop (minimum
+        one), a duplication draw once per transfer.  On a correlated
+        profile, every flaky link of the route (``link_idxs``) additionally
+        steps its Gilbert–Elliott chain: a traversal in the *bad* state
+        pays ``ge_stall_bad_ns`` and drops with ``ge_loss_bad`` (vs
+        ``ge_loss_good``).  The counters are updated here so callers only
+        need to act on the verdict.
         """
         p = self.profile
         seq = self._next_seq(("link", src_node, dst_node))
@@ -109,25 +204,55 @@ class FaultPlane:
             and self._uniform(3, seq, 0) < p.dup_rate
         )
         extra_ns = stalls * p.delay_ns
+        if self._flaky_links:
+            for i in link_idxs:
+                if i not in self._flaky_links:
+                    continue
+                # the per-link step counter (not the route's seq) keys the
+                # draws, so the burst schedule of a link is one stream no
+                # matter which routes traverse it
+                k = self._ge_seq.get((0, i), 0)
+                bad = self._ge_step(0, i)
+                if bad:
+                    self.link_ge_bad[i] += 1
+                    self.link_stall_ns[i] += p.ge_stall_bad_ns
+                    extra_ns += p.ge_stall_bad_ns
+                loss = p.ge_loss_bad if bad else p.ge_loss_good
+                if loss > 0.0 and self._uniform(6, i, k) < loss:
+                    dropped = True
+                    self.link_drops[i] += 1
+            duplicated = duplicated and not dropped
         if dropped:
             self.counters["drop"] += 1
         if duplicated:
             self.counters["dup"] += 1
         if stalls:
+            # i.i.d. stall accounting only; Gilbert–Elliott stall time is
+            # tracked per link in link_stall_ns
             self.counters["delay"] += stalls
-            self.counters["delay_ns"] += extra_ns
+            self.counters["delay_ns"] += stalls * p.delay_ns
         return dropped, extra_ns, duplicated
 
     # -- directory faults -----------------------------------------------------------
 
-    def nack_bounces(self, cpu: int, now_ns: float) -> int:
-        """Number of NACK bounces for one directory transaction (bounded)."""
+    def nack_bounces(self, cpu: int, now_ns: float, home: Optional[int] = None) -> int:
+        """Number of NACK bounces for one directory transaction (bounded).
+
+        On a correlated profile with ``dir:<node>`` domains, a transaction
+        whose home directory is currently in the *bad* state bounces with
+        ``ge_nack_bad`` instead of the i.i.d. ``nack_rate`` (whichever is
+        larger); the home's chain steps once per transaction.
+        """
         p = self.profile
         seq = self._next_seq(("dir", cpu, 0))
-        if p.nack_rate <= 0.0 or not self.in_window(now_ns):
+        rate = p.nack_rate
+        if self._flaky_homes and home in self._flaky_homes:
+            if self._ge_step(1, home):
+                rate = max(rate, p.ge_nack_bad)
+        if rate <= 0.0 or not self.in_window(now_ns):
             return 0
         bounces = 0
-        while bounces < p.max_nacks and self._uniform(4, seq, bounces) < p.nack_rate:
+        while bounces < p.max_nacks and self._uniform(4, seq, bounces) < rate:
             bounces += 1
         if bounces:
             self.counters["nack"] += bounces
@@ -146,6 +271,7 @@ class FaultPlane:
         return int(
             self.counters["retry_mpi"]
             + self.counters["retry_shmem"]
+            + self.counters["retry_coll"]
             + self.counters["nack"]
         )
 

@@ -127,7 +127,9 @@ def _adapt_runner(model, nprocs, workload, placement, trace=False, faults=None, 
     key = _run_key("adapt", cfg, nprocs, placement, faults, machine_profile)
     script = _script_cache.get(key)
     if script is None:
-        script = build_script(cfg, nprocs)
+        # faults/machine_profile reach the builder so a fault-aware profile
+        # can steer PLUM; the cache key above already distinguishes them
+        script = build_script(cfg, nprocs, faults=faults, machine_profile=machine_profile)
         _script_cache[key] = script
     return run_program(model, _program_for("adapt", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived), profile=machine_profile)
 
@@ -154,7 +156,9 @@ def _scenario_runner(model, nprocs, workload, placement, trace=False, faults=Non
     if script is None:
         from repro.apps.adapt import build_script
 
-        script = build_script(spec_config(spec), nprocs)
+        script = build_script(
+            spec_config(spec), nprocs, faults=faults, machine_profile=machine_profile
+        )
         _script_cache[key] = script
     return run_program(model, _program_for("scenario", ADAPT_PROGRAMS, model), nprocs, script, placement=placement, trace=trace, faults=faults, config=_machine_config(nprocs, derived), profile=machine_profile)
 

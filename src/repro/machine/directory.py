@@ -198,7 +198,10 @@ class Directory:
             self._ensure_lines(line)
             resident = self.caches[cpu].contains(line)
             if not resident or (write and int(self._owner[line]) != cpu):
-                bounces = self.faults.nack_bounces(cpu, now_ns)
+                home = self.memory.home_of_line(
+                    line, self.config.line_bytes, self.config.node_of_cpu(cpu)
+                )
+                bounces = self.faults.nack_bounces(cpu, now_ns, home=home)
                 if bounces:
                     nack_ns = bounces * self.faults.profile.nack_retry_ns
                     self.caches[cpu].nack_replays += bounces

@@ -75,6 +75,9 @@ class Machine:
         self.stats = MachineStats.for_nprocs(self.config.nprocs)
         self.obs = EventLog()
         self.faults = FaultPlane(resolve_profile(faults))
+        # correlated profiles resolve their failure domains against the
+        # actual links of this run's topology (no-op otherwise)
+        self.faults.bind_topology(self.topology)
         self.network = Network(
             self.engine, self.topology, self.stats, obs=self.obs, faults=self.faults
         )

@@ -174,7 +174,7 @@ class Network:
         duplicated = False
         if self.faults.enabled:
             dropped, extra_ns, duplicated = self.faults.link_verdict(
-                src_node, dst_node, hops, self.engine.now
+                src_node, dst_node, hops, self.engine.now, link_idxs
             )
         held: List[Resource] = []
         try:
@@ -337,9 +337,11 @@ class Network:
                 "(CLI: run --link-stats)"
             )
         horizon = max(self.engine.now, 1e-9)
+        plane = self.faults
+        correlated = plane.link_drops is not None
         out: List[LinkStats] = []
-        for link, res, nbytes in zip(
-            self.topology.links, self.link_resources, self.link_bytes
+        for i, (link, res, nbytes) in enumerate(
+            zip(self.topology.links, self.link_resources, self.link_bytes)
         ):
             out.append(
                 LinkStats(
@@ -353,6 +355,11 @@ class Network:
                     queued_ns=res.total_wait_ns,
                     busy_ns=res.busy_ns,
                     saturation=res.utilisation(horizon),
+                    # fault-plane exposure: per-link burst counters under a
+                    # correlated profile, zeros otherwise
+                    fault_drops=plane.link_drops[i] if correlated else 0,
+                    ge_bad=plane.link_ge_bad[i] if correlated else 0,
+                    fault_stall_ns=plane.link_stall_ns[i] if correlated else 0.0,
                 )
             )
         return out

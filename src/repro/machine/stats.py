@@ -98,6 +98,11 @@ class LinkStats:
     queued_ns: float = 0.0    # total simulated time spent queued for the link
     busy_ns: float = 0.0      # integrated in-use time
     saturation: float = 0.0   # busy_ns / elapsed_ns at snapshot time
+    # fault-plane counters — nonzero only under a correlated fault profile
+    # whose failure domains include this link (see docs/faults.md)
+    fault_drops: int = 0      # transfers this link's Gilbert–Elliott chain killed
+    ge_bad: int = 0           # traversals that found the chain in the bad state
+    fault_stall_ns: float = 0.0  # burst stall time injected on this link
 
     @property
     def ident(self) -> Tuple[str, int, int]:

@@ -70,13 +70,28 @@ class HybridContext(BaseContext):
         yield from self.sas.barrier_group(("node", self.node), self.node_size)
 
     def global_barrier(self) -> Generator:
-        """Hierarchical barrier: node fan-in, leader MPI barrier, fan-out."""
+        """Hierarchical barrier: node fan-in, leader MPI barrier, fan-out.
+
+        The composition is a true world barrier (no rank leaves before
+        every rank has arrived), so each rank also emits one world-scoped
+        ``barrier`` event — the node-scoped pieces alone would leave the
+        sync checker without a cross-node happens-before edge.
+        """
+        t0 = self.now
         yield from self.node_barrier()
         if self.is_leader and self._leaders is not None:
             yield from self._leaders.barrier()
         yield from self.node_barrier()
+        self._global_gen += 1
+        if self._obs.enabled:
+            self._obs.emit(
+                "barrier", t0, self.rank, dur=self.now - t0,
+                attrs={"gen": self._global_gen, "name": "hybrid-global",
+                       "kind": "hierarchical"},
+            )
 
     _leaders = None
+    _global_gen = 0
 
     def setup_leaders(self) -> Generator:
         """Collective: build the node-leaders communicator (call once)."""

@@ -345,6 +345,13 @@ class MpiContext(BaseContext):
         window NIC would) and resends the same sequence number; the
         receiver-side filter makes duplicates harmless.  Gives up with
         :class:`FaultRecoveryError` after ``max_retries`` resends.
+
+        Collective-tree messages (``tag >= _COLL_TAG_BASE``) recover by
+        *subtree re-subscribe* instead (:meth:`_coll_resubscribe`): the
+        child knows the collective's schedule, so it detects the gap after
+        ``coll_detect_ns`` and pulls a retransmission with a small request
+        — no exponential backoff, which is what keeps a binomial tree at
+        P>=64 from compounding one lost level into a full timeout ladder.
         """
         src_node = self.cfg.node_of_cpu(msg.src)
         dst_node = self.cfg.node_of_cpu(msg.dst)
@@ -354,6 +361,9 @@ class MpiContext(BaseContext):
         if delivered:
             return
         faults = self.machine.faults
+        if msg.tag >= _COLL_TAG_BASE and faults.profile.coll_resubscribe:
+            yield from self._coll_resubscribe(msg, src_node, dst_node)
+            return
         timeout = faults.profile.retry_timeout_ns
         for attempt in range(1, faults.profile.max_retries + 1):
             yield Delay(timeout)
@@ -378,6 +388,51 @@ class MpiContext(BaseContext):
             f"mpi: message {msg.src}->{msg.dst} seq={msg.seq} tag={msg.tag} "
             f"({msg.nbytes} B) undeliverable after "
             f"{faults.profile.max_retries} retransmissions"
+        )
+
+    def _coll_resubscribe(self, msg: _Msg, src_node: int, dst_node: int) -> Generator:
+        """Collective-aware recovery: the subtree root pulls the resend.
+
+        Point-to-point recovery is sender-driven — a timeout ladder with
+        exponential backoff, because the receiver has no idea a message
+        existed.  Inside a collective the *child does know*: the tree
+        schedule tells it exactly which parent owes it data.  So after a
+        fixed ``coll_detect_ns`` gap it re-subscribes — sends an
+        ``ack_bytes`` request up the tree edge — and the parent resends.
+        Each attempt costs detection + request + retransmit; the request
+        itself crosses the faulty network and may need further rounds.
+        """
+        faults = self.machine.faults
+        p = faults.profile
+        for attempt in range(1, p.max_retries + 1):
+            yield Delay(p.coll_detect_ns)
+            faults.note_retry("coll", p.coll_detect_ns)
+            if self._obs.enabled:
+                self._obs.emit(
+                    "retry", self.now, msg.src, msg.dst, msg.nbytes,
+                    attrs={
+                        "model": "coll",
+                        "attempt": attempt,
+                        "seq": msg.seq,
+                        "wait_ns": p.coll_detect_ns,
+                    },
+                )
+            # the child's re-subscribe request travels against the tree edge;
+            # if it is lost the child simply detects the gap again
+            requested = yield from self.machine.network.transfer(
+                dst_node, src_node, p.ack_bytes
+            )
+            if not requested:
+                continue
+            delivered = yield from self.machine.network.transfer(
+                src_node, dst_node, msg.nbytes
+            )
+            if delivered:
+                return
+        raise FaultRecoveryError(
+            f"mpi: collective message {msg.src}->{msg.dst} seq={msg.seq} "
+            f"tag={msg.tag} ({msg.nbytes} B) undeliverable after "
+            f"{p.max_retries} re-subscribes"
         )
 
     def _eager_transfer(self, msg: _Msg) -> Generator:

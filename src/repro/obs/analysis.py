@@ -196,6 +196,10 @@ def link_contention_rows(
             "queued_ns": ls.queued_ns,
             "busy_ns": ls.busy_ns,
             "saturation": ls.saturation,
+            # correlated-fault exposure (all zero on fault-free runs)
+            "fault_drops": ls.fault_drops,
+            "ge_bad": ls.ge_bad,
+            "fault_stall_ns": ls.fault_stall_ns,
         }
         for ls in links
         if not busy_only or ls.acquires > 0
@@ -207,19 +211,33 @@ def link_contention_rows(
 
 
 def format_link_contention(links: Iterable, top: Optional[int] = 16) -> str:
-    """Fixed-width table of the hottest links (CLI ``run --link-stats``)."""
+    """Fixed-width table of the hottest links (CLI ``run --link-stats``).
+
+    Runs under a correlated fault profile grow three extra columns —
+    bad-state traversals, burst drops, and burst stall milliseconds —
+    so the flaky domain is visible right in the contention table.
+    """
     rows = link_contention_rows(links, top=top)
+    faulty = any(r["ge_bad"] or r["fault_drops"] for r in rows)
     header = (
         f"{'link':<20} {'bytes':>12} {'acq':>7} {'waits':>6} "
         f"{'queued_ms':>10} {'busy_ms':>9} {'sat':>6}"
     )
+    if faulty:
+        header += f" {'ge_bad':>7} {'fdrops':>7} {'fstall_ms':>10}"
     lines = [header]
     for r in rows:
-        lines.append(
+        line = (
             f"{r['link']:<20} {r['bytes']:>12} {r['acquires']:>7} "
             f"{r['claim_waits']:>6} {r['queued_ns'] / 1e6:>10.3f} "
             f"{r['busy_ns'] / 1e6:>9.3f} {r['saturation']:>6.1%}"
         )
+        if faulty:
+            line += (
+                f" {r['ge_bad']:>7} {r['fault_drops']:>7} "
+                f"{r['fault_stall_ns'] / 1e6:>10.3f}"
+            )
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -16,6 +16,12 @@ After each mesh adaptation the element distribution is imbalanced.  PLUM
 
 from repro.plum.balancer import PlumBalancer, RebalanceResult
 from repro.plum.cost import RemapCost, remap_cost
+from repro.plum.faultaware import (
+    comm_matrix,
+    penalised_cut,
+    rank_penalty_matrix,
+    refine_assignment,
+)
 from repro.plum.policy import ImbalancePolicy
 from repro.plum.remap import reassign_greedy, reassign_optimal, similarity_matrix
 
@@ -28,4 +34,8 @@ __all__ = [
     "similarity_matrix",
     "reassign_greedy",
     "reassign_optimal",
+    "rank_penalty_matrix",
+    "comm_matrix",
+    "refine_assignment",
+    "penalised_cut",
 ]

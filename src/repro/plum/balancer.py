@@ -27,6 +27,11 @@ class RebalanceResult:
     owner: Dict[int, int]
     cost: Optional[RemapCost] = None
     edge_cut: Optional[float] = None
+    #: fault-weighted cut of the chosen assignment, and what the
+    #: fault-blind assignment would have cost (set only when the balancer
+    #: holds a link-penalty matrix)
+    fault_cut: Optional[float] = None
+    fault_cut_blind: Optional[float] = None
 
 
 class PlumBalancer:
@@ -35,6 +40,14 @@ class PlumBalancer:
     ``partitioner(graph, nparts)`` is any k-way partitioner from
     :mod:`repro.partition`; ``reassigner`` is ``"greedy"`` (PLUM's
     heuristic) or ``"optimal"`` (Hungarian).
+
+    ``link_penalty``, when given, is an ``nparts x nparts`` matrix of
+    expected per-message fault cost between processors (see
+    :func:`repro.plum.faultaware.rank_penalty_matrix`); the part ->
+    processor assignment is then refined to keep heavy-talking partition
+    pairs off flaky routes, trading a bounded amount of extra migration
+    (``fault_move_weight``) for cleaner halo traffic.  ``None`` — the
+    default — leaves every code path exactly as fault-blind PLUM.
     """
 
     def __init__(
@@ -43,15 +56,26 @@ class PlumBalancer:
         partitioner: Callable = multilevel,
         policy: Optional[ImbalancePolicy] = None,
         reassigner: str = "greedy",
+        link_penalty: Optional[np.ndarray] = None,
+        fault_move_weight: float = 0.5,
     ):
         if nparts < 1:
             raise ValueError(f"nparts must be >= 1, got {nparts}")
         if reassigner not in ("greedy", "optimal"):
             raise ValueError(f"unknown reassigner {reassigner!r}")
+        if link_penalty is not None:
+            link_penalty = np.asarray(link_penalty, dtype=np.float64)
+            if link_penalty.shape != (nparts, nparts):
+                raise ValueError(
+                    f"link_penalty must be {nparts}x{nparts}, "
+                    f"got {link_penalty.shape}"
+                )
         self.nparts = nparts
         self.partitioner = partitioner
         self.policy = policy or ImbalancePolicy()
         self.reassigner = reassigner
+        self.link_penalty = link_penalty
+        self.fault_move_weight = fault_move_weight
         self.history: List[RebalanceResult] = []
 
     # -- pieces ---------------------------------------------------------------
@@ -64,9 +88,27 @@ class PlumBalancer:
         return loads
 
     def initial_partition(self, mesh: TriMesh) -> Dict[int, int]:
-        """Partition a fresh mesh (no reassignment needed)."""
+        """Partition a fresh mesh (no reassignment needed).
+
+        With a link-penalty matrix, the fresh part labels are still
+        permuted onto processors fault-aware: nothing has owners yet, so
+        the swap search is pure fault-cut minimisation at zero cost.
+        """
         graph, tids = mesh_dual_graph(mesh)
         part = self.partitioner(graph, self.nparts)
+        if self.link_penalty is not None:
+            from repro.plum.faultaware import comm_matrix, refine_assignment
+            from repro.plum.remap import apply_assignment
+
+            comm = comm_matrix(graph, part, self.nparts)
+            assign = refine_assignment(
+                np.arange(self.nparts, dtype=np.int64),
+                np.zeros((self.nparts, self.nparts)),
+                comm,
+                self.link_penalty,
+                move_weight=0.0,
+            )
+            part = apply_assignment(part, assign)
         return {tid: int(p) for tid, p in zip(tids, part)}
 
     # -- the main entry point ---------------------------------------------------
@@ -107,6 +149,21 @@ class PlumBalancer:
         w = np.asarray([wmap.get(t, 1.0) for t in tids])
         S = similarity_matrix(current, part, w, self.nparts)
         assign = reassign_greedy(S) if self.reassigner == "greedy" else reassign_optimal(S)
+        fault_cut = fault_cut_blind = None
+        if self.link_penalty is not None:
+            from repro.plum.faultaware import (
+                comm_matrix,
+                penalised_cut,
+                refine_assignment,
+            )
+
+            comm = comm_matrix(graph, part, self.nparts)
+            fault_cut_blind = penalised_cut(comm, self.link_penalty, assign)
+            assign = refine_assignment(
+                assign, S, comm, self.link_penalty,
+                move_weight=self.fault_move_weight,
+            )
+            fault_cut = penalised_cut(comm, self.link_penalty, assign)
         new_owner_arr = apply_assignment(part, assign)
         cost = remap_cost(current, new_owner_arr, w, self.nparts)
         new_owner = {tid: int(p) for tid, p in zip(tids, new_owner_arr)}
@@ -119,6 +176,8 @@ class PlumBalancer:
             owner=new_owner,
             cost=cost,
             edge_cut=summary.edge_cut,
+            fault_cut=fault_cut,
+            fault_cut_blind=fault_cut_blind,
         )
         self.history.append(result)
         return result

@@ -1,0 +1,173 @@
+"""Failure-aware processor reassignment: route work away from flaky links.
+
+This is the experiment the Origin2000 could never run.  A correlated
+fault profile (:class:`repro.faults.FaultProfile` with ``domains``) puts
+Gilbert–Elliott burst chains on named links; their *stationary*
+expectations — drop probability ``pi_loss`` and stall time per traversal
+— are known in closed form, so the cost of sending one message across a
+route is predictable long before the simulator rolls any draw:
+
+    E[extra ns] ~= pi_bad * ge_stall_bad_ns * (flaky links on route)
+                 + (expected retransmissions) * retry_timeout_ns
+
+:func:`rank_penalty_matrix` evaluates that expectation for every rank
+pair of a machine; :func:`comm_matrix` measures how much the freshly cut
+partitions talk to each other; :func:`refine_assignment` then improves
+PLUM's similarity-greedy part->processor assignment by swapping labels —
+relabelling never changes load balance or edge cut, only *which route*
+each cut edge crosses — until heavy-talking partition pairs sit on clean
+routes and the extra data movement stays worth it.
+
+Everything here is pure precomputation: it runs at script-build time
+(:func:`repro.apps.adapt.script.build_script`), sees only the profile's
+closed forms (never the plane's live state), and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = [
+    "rank_penalty_matrix",
+    "comm_matrix",
+    "refine_assignment",
+    "penalised_cut",
+]
+
+
+def rank_penalty_matrix(
+    profile: Any, nprocs: int, machine_profile: Any = None
+) -> Optional[np.ndarray]:
+    """Expected per-message fault cost (ns) for every rank pair.
+
+    Builds the same topology the run will use (including a hardware
+    profile overlay, when given), resolves the profile's failure domains
+    against it exactly as :meth:`FaultPlane.bind_topology` does, and sums
+    the stationary expectations over each pair's dimension-ordered route
+    — both directions, since halo exchange is bidirectional.  Returns
+    ``None`` when the profile is not correlated or no domain matched a
+    link (nothing to steer around).
+    """
+    from repro.faults import FaultPlane, resolve_profile
+    from repro.machine.config import MachineConfig
+    from repro.machine.profiles import resolve_machine_profile
+    from repro.machine.topology import build_topology
+
+    prof = resolve_profile(profile)
+    if not prof.correlated:
+        return None
+    cfg = MachineConfig(nprocs=nprocs)
+    mp = resolve_machine_profile(machine_profile)
+    if mp is not None:
+        cfg = mp.apply(cfg)
+    topology = build_topology(cfg)
+    plane = FaultPlane(prof)
+    plane.bind_topology(topology)
+    flaky = plane._flaky_links
+    if not flaky:
+        return None
+    pi_bad = prof.ge_stationary_bad
+    pi_loss = prof.ge_stationary_loss
+    # expected retransmissions per flaky traversal: each drop costs one
+    # recovery round; the sender-driven timer is the conservative scale
+    per_link_ns = pi_bad * prof.ge_stall_bad_ns + (
+        pi_loss / max(1.0 - pi_loss, 1e-9)
+    ) * prof.retry_timeout_ns
+    penalty = np.zeros((nprocs, nprocs))
+    for p in range(nprocs):
+        for q in range(nprocs):
+            if p == q:
+                continue
+            src, dst = cfg.node_of_cpu(p), cfg.node_of_cpu(q)
+            if src == dst:
+                continue
+            info = topology.route_info(src, dst)
+            n_flaky = sum(1 for i in info.links if i in flaky)
+            penalty[p, q] = n_flaky * per_link_ns
+    # halo traffic flows both ways on a pair
+    return penalty + penalty.T
+
+
+def comm_matrix(graph: Any, part: np.ndarray, nparts: int) -> np.ndarray:
+    """Symmetric inter-partition edge weight: how much parts talk.
+
+    ``C[a, b]`` sums the dual-graph edge weights between partitions ``a``
+    and ``b`` (each undirected edge appears twice in CSR, so the raw
+    accumulation double-counts symmetrically — only relative magnitude
+    matters here and the diagonal is zeroed).
+    """
+    part = np.asarray(part, dtype=np.int64)
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64),
+                    np.diff(graph.xadj))
+    pa, pb = part[src], part[graph.adjncy]
+    C = np.zeros((nparts, nparts))
+    np.add.at(C, (pa, pb), graph.ewgt)
+    np.fill_diagonal(C, 0.0)
+    return C
+
+
+def penalised_cut(comm: np.ndarray, penalty: np.ndarray, assign: np.ndarray) -> float:
+    """Total fault-weighted cut: ``sum_{a<b} C[a,b] * penalty[proc_a, proc_b]``."""
+    pen = penalty[np.ix_(assign, assign)]
+    return float(np.sum(np.triu(comm * pen, k=1)))
+
+
+def refine_assignment(
+    assign: np.ndarray,
+    S: np.ndarray,
+    comm: np.ndarray,
+    penalty: np.ndarray,
+    move_weight: float = 0.5,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """Greedy label-swap refinement of a part -> processor assignment.
+
+    Starting from PLUM's similarity assignment, repeatedly applies the
+    best improving swap of two parts' processors under the combined cost
+
+        fault   = sum_{a<b} C[a,b] * pen_norm[assign[a], assign[b]]
+        move    = sum_a (w_tot[a] - S[assign[a], a])
+        cost    = fault + move_weight * move
+
+    where ``pen_norm`` is the penalty matrix scaled to ``[0, 1]`` so the
+    fault term lives in the same units as the communication weights, and
+    the move term is the element weight that must migrate (``S[p, a]`` is
+    weight already on the right processor).  Swapping labels leaves
+    balance and edge cut untouched by construction.  Stops at the first
+    pass with no improving swap, or after ``max_passes``.
+    """
+    assign = np.asarray(assign, dtype=np.int64).copy()
+    nparts = len(assign)
+    pmax = float(penalty.max())
+    if pmax <= 0.0 or nparts < 2:
+        return assign
+    pen = penalty / pmax
+    for _ in range(max_passes):
+        best_delta = -1e-12
+        best_pair = None
+        pen_sym = pen  # symmetric by construction
+        for a in range(nparts):
+            pa = assign[a]
+            comm_a = comm[a]
+            for b in range(a + 1, nparts):
+                pb = assign[b]
+                row = pen_sym[pb, assign] - pen_sym[pa, assign]
+                # delta of the fault term for swapping a<->b; the full dot
+                # products include c in {a, b}, corrected afterwards (the
+                # (a, b) edge itself keeps its penalty under a swap)
+                d_fault = float(comm_a @ row - comm[b] @ row)
+                d_fault += 2.0 * comm_a[b] * pen_sym[pa, assign[b]]
+                d_move = move_weight * (
+                    (S[pa, a] + S[pb, b]) - (S[pb, a] + S[pa, b])
+                )
+                delta = d_fault + d_move
+                if delta < best_delta:
+                    best_delta = delta
+                    best_pair = (a, b)
+        if best_pair is None:
+            break
+        a, b = best_pair
+        assign[a], assign[b] = assign[b], assign[a]
+    return assign

@@ -1,0 +1,81 @@
+"""Differential golden suite: faults off is bit-identical to the pre-PR build.
+
+``tests/golden/faults_off.json`` (written by
+``tools/record_faults_golden.py``) fingerprints every faults-off run —
+all four models at P in {1, 8, 64} — as recorded *before* the
+correlated-fault plane (Gilbert–Elliott burst chains, failure domains,
+fault-aware PLUM, collective re-subscribe) landed.  Each test here
+re-runs one configuration on the current tree and compares every field
+exactly: elapsed nanoseconds (by ``repr``, so float-exact), a SHA-256 of
+the per-rank results, the full statistics summary, and the traced event
+stream's length and SHA-256.
+
+One intentional delta is baked into the recordings: hybrid's
+``global_barrier`` now emits a world-scoped ``barrier`` obs event per
+rank (this PR's observability satellite), so the hybrid *event* rows
+were re-recorded after that change.  The re-recording was differential
+too — elapsed, rank results and stats of every row, and the event
+streams of mpi/shmem/sas, were verified byte-equal to the pre-PR build
+before committing the file.  Obs events never advance simulated time,
+so a timing regression still cannot hide behind the event-row refresh.
+
+P=64 rows carry the ``nightly`` marker so the tier-1 run stays fast.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.apps.adapt import AdaptConfig
+from repro.harness.experiment import run_app
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "faults_off.json")
+
+with open(GOLDEN_PATH) as _fh:
+    _GOLDEN = json.load(_fh)
+
+_ROWS = {(row["model"], row["nprocs"]): row for row in _GOLDEN["rows"]}
+
+# the CLI "small" preset the recordings were taken with
+_WL = AdaptConfig(mesh_n=8, phases=3, solver_iters=6)
+
+
+def _param(model: str, nprocs: int):
+    marks = [pytest.mark.nightly] if nprocs > 8 else []
+    return pytest.param(model, nprocs, marks=marks, id=f"{model}-{nprocs}")
+
+
+CASES = [
+    _param(model, nprocs)
+    for model in _GOLDEN["models"]
+    for nprocs in _GOLDEN["procs"]
+]
+
+
+@pytest.mark.parametrize("model,nprocs", CASES)
+def test_faults_off_matches_pre_pr_recording(model, nprocs):
+    """A faults-off run reproduces its golden fingerprint field by field."""
+    golden = _ROWS[(model, nprocs)]
+    result = run_app("adapt", model, nprocs, _WL, trace=True)
+    assert repr(result.elapsed_ns) == golden["elapsed_ns"]
+    assert (
+        hashlib.sha256(repr(result.rank_results).encode()).hexdigest()
+        == golden["rank_results_sha256"]
+    )
+    summary = {k: repr(v) for k, v in sorted(result.stats.summary().items())}
+    assert summary == golden["stats_summary"]
+    events = result.events or []
+    assert len(events) == golden["events"]
+    blob = "\n".join(repr(ev) for ev in events).encode()
+    assert hashlib.sha256(blob).hexdigest() == golden["events_sha256"]
+
+
+def test_golden_file_covers_all_models():
+    """The recording spans every model x P cell the suite claims to lock."""
+    assert set(_GOLDEN["models"]) == {"mpi", "shmem", "sas", "hybrid"}
+    assert set(_GOLDEN["procs"]) == {1, 8, 64}
+    assert len(_ROWS) == 12

@@ -47,7 +47,7 @@ from repro.models.mpi.matchq import ANY, MatchQueue
 from repro.models.registry import run_program
 from repro.obs import check_sync
 
-MODELS = ("mpi", "shmem", "sas")
+MODELS = ("mpi", "shmem", "sas", "hybrid")
 
 # P=32 and P=64 run in tier-1; the P=128 column is nightly-only
 PROCS = [32, 64, pytest.param(128, marks=pytest.mark.nightly)]
@@ -225,7 +225,7 @@ def test_double_run_bit_identical(model, nprocs):
     assert len(a.events) == len(b.events)
 
 
-@pytest.mark.parametrize("model,nprocs", [("mpi", 32), ("sas", 64)])
+@pytest.mark.parametrize("model,nprocs", [("mpi", 32), ("sas", 64), ("hybrid", 32)])
 def test_faulted_double_run_bit_identical(model, nprocs):
     """Fault injection is deterministic per seed at high P too."""
     from repro.faults import resolve_profile
@@ -236,6 +236,25 @@ def test_faulted_double_run_bit_identical(model, nprocs):
     ]
     assert _fingerprint(runs[0]) == _fingerprint(runs[1])
     assert runs[0].fault_summary == runs[1].fault_summary
+
+
+@pytest.mark.parametrize("profile", ["stress", "bursty-links"])
+def test_hybrid_recovery_exercised(profile):
+    """Hybrid inherits both runtimes' recovery paths and actually uses them.
+
+    Under i.i.d. loss *and* correlated dim-1 bursts the hybrid run must
+    survive (bit-deterministic results) while its fault counters show the
+    MPI retransmission/re-subscribe machinery fired.
+    """
+    from repro.faults import resolve_profile
+
+    result = run_app(
+        "adapt", "hybrid", 32, _WL, faults=resolve_profile(profile, seed=7)
+    )
+    summary = result.fault_summary
+    assert summary is not None and summary["total_retries"] > 0
+    clean = run_app("adapt", "hybrid", 32, _WL)
+    assert result.rank_results == clean.rank_results  # recovery is transparent
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Record the faults-off golden fingerprints for the differential suite.
+
+``tests/test_faults_off_golden.py`` asserts that every faults-off run —
+all four models at P in {1, 8, 64} — still produces *bit-identical*
+elapsed nanoseconds, per-rank results, aggregate statistics and obs
+traces to the recordings this script wrote before the correlated-fault
+plane landed.  That is the house rule ("faults off is bit-identical to a
+build without the faults module") made executable.
+
+Re-run only when an intentional simulated-time change lands (and say so
+in the commit):
+
+    PYTHONPATH=src python tools/record_faults_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "golden", "faults_off.json"
+)
+
+MODELS = ("mpi", "shmem", "sas", "hybrid")
+PROCS = (1, 8, 64)
+
+
+def workload():
+    from repro.apps.adapt import AdaptConfig
+
+    # the CLI "small" preset — big enough to touch every comm path,
+    # small enough that the differential suite stays tier-1 at P<=8
+    return AdaptConfig(mesh_n=8, phases=3, solver_iters=6)
+
+
+def fingerprint(model: str, nprocs: int) -> dict:
+    """One faults-off traced run, reduced to exact comparable fields."""
+    from repro.harness.experiment import run_app
+
+    result = run_app("adapt", model, nprocs, workload(), trace=True)
+    events = result.events or []
+    events_blob = "\n".join(repr(ev) for ev in events).encode()
+    return {
+        "model": model,
+        "nprocs": nprocs,
+        # repr round-trips floats exactly; the test compares strings
+        "elapsed_ns": repr(result.elapsed_ns),
+        "rank_results_sha256": hashlib.sha256(
+            repr(result.rank_results).encode()
+        ).hexdigest(),
+        "stats_summary": {
+            k: repr(v) for k, v in sorted(result.stats.summary().items())
+        },
+        "events": len(events),
+        "events_sha256": hashlib.sha256(events_blob).hexdigest(),
+    }
+
+
+def main() -> int:
+    rows = []
+    for model in MODELS:
+        for nprocs in PROCS:
+            row = fingerprint(model, nprocs)
+            rows.append(row)
+            print(
+                f"recorded {model:>6} P={nprocs:<3} "
+                f"elapsed={row['elapsed_ns']} events={row['events']}"
+            )
+    record = {
+        "app": "adapt",
+        "workload": "small (mesh_n=8, phases=3, solver_iters=6)",
+        "models": list(MODELS),
+        "procs": list(PROCS),
+        "rows": rows,
+    }
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.relpath(GOLDEN_PATH)} ({len(rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
